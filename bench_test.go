@@ -1,0 +1,522 @@
+// Benchmark harness: one benchmark per table/figure of the paper plus the
+// ablations called out in DESIGN.md §5 and micro-benchmarks of the hot
+// substrates. Figure benchmarks regenerate the corresponding experiment
+// end to end on the virtual-time testbed; custom metrics report the
+// figure's headline numbers so `go test -bench` output doubles as a
+// results table.
+package tunable_test
+
+import (
+	"testing"
+	"time"
+
+	"tunable/internal/avis"
+	"tunable/internal/compress"
+	"tunable/internal/expt"
+	"tunable/internal/imagery"
+	"tunable/internal/monitor"
+	"tunable/internal/perfdb"
+	"tunable/internal/resource"
+	"tunable/internal/sandbox"
+	"tunable/internal/scheduler"
+	"tunable/internal/spec"
+	"tunable/internal/vtime"
+	"tunable/internal/wavelet"
+)
+
+// ---- Figure benchmarks ----
+
+func BenchmarkFig3a(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := expt.Figure3a()
+		if err != nil {
+			b.Fatal(err)
+		}
+		s, _ := fig.Rec.Get("achieved-share")
+		b.ReportMetric(s.Mean(), "mean-share")
+	}
+}
+
+func BenchmarkFig3b(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.Figure3b(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig4a(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.Figure4a(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig4b(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.Figure4b(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.Figure5a(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := expt.Figure5b(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6a(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.Figure6a(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6b(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.Figure6b(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig7a(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e, err := expt.Experiment1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(e.Adaptive.Total.Seconds(), "adaptive-s")
+		b.ReportMetric(e.StaticA.Total.Seconds(), "lzw-only-s")
+		b.ReportMetric(e.StaticB.Total.Seconds(), "bzw-only-s")
+	}
+}
+
+func BenchmarkFig7b(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e, err := expt.Experiment2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(e.Adaptive.Switches), "switches")
+	}
+}
+
+func BenchmarkFig7c(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e, err := expt.Experiment3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := e.Adaptive.Stats[len(e.Adaptive.Stats)-1]
+		b.ReportMetric(last.AvgResponse.Seconds(), "final-response-s")
+	}
+}
+
+func BenchmarkFig7d(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e, err := expt.Experiment3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		fig := expt.Figure7d(e)
+		if fig == nil {
+			b.Fatal("no figure")
+		}
+		b.ReportMetric(e.Adaptive.Total.Seconds(), "adaptive-s")
+	}
+}
+
+// ---- Ablation benchmarks (DESIGN.md §5) ----
+
+// analytic database for the scheduler-side ablations.
+func ablationDB(b *testing.B, configs int) (*perfdb.DB, *spec.App) {
+	b.Helper()
+	app := &spec.App{
+		Name: "ablate",
+		Params: []spec.Param{{
+			Name: "n", Kind: spec.IntValue,
+			Domain: func() []spec.Value {
+				out := make([]spec.Value, configs)
+				for i := range out {
+					out[i] = spec.Int(i + 1)
+				}
+				return out
+			}(),
+		}},
+		Metrics: []spec.MetricDecl{
+			{Name: "t", Unit: "s", Better: spec.LowerIsBetter},
+			{Name: "q", Better: spec.HigherIsBetter},
+		},
+	}
+	db := perfdb.New(app)
+	for n := 1; n <= configs; n++ {
+		// The upper half of the configuration space delivers the same
+		// quality as the lower half at a higher cost, so it is dominated —
+		// the population Prune() is meant to eliminate (footnote 1).
+		q := float64((n-1)%((configs+1)/2) + 1)
+		for _, cpu := range resource.Linspace(0.1, 1.0, 10) {
+			err := db.Add(spec.Config{"n": spec.Int(n)},
+				resource.Vector{resource.CPU: cpu},
+				spec.Metrics{"t": float64(n) / cpu, "q": q})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	return db, app
+}
+
+// BenchmarkAblationInterp compares interpolated prediction against the
+// paper's implemented discrete best-match lookup (Section 7.1): decision
+// time plus how often the two modes disagree on the chosen configuration.
+func BenchmarkAblationInterp(b *testing.B) {
+	db, app := ablationDB(b, 8)
+	prefs := []scheduler.Preference{{
+		Name:        "deadline",
+		Constraints: []scheduler.Constraint{scheduler.AtMost("t", 4)},
+		Objective:   "q",
+	}}
+	queries := resource.Linspace(0.13, 0.97, 29)
+	for _, mode := range []struct {
+		name string
+		m    perfdb.PredictMode
+	}{{"interpolate", perfdb.Interpolate}, {"nearest", perfdb.NearestOnly}} {
+		b.Run(mode.name, func(b *testing.B) {
+			db.SetMode(mode.m)
+			s, err := scheduler.New(app, db, prefs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			violations := 0
+			decisions := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, cpu := range queries {
+					d, err := s.Select(resource.Vector{resource.CPU: cpu})
+					if err != nil {
+						continue
+					}
+					decisions++
+					// Ground truth: does the chosen n actually meet the
+					// deadline at this exact cpu?
+					if float64(d.Config["n"].I)/cpu > 4 {
+						violations++
+					}
+				}
+			}
+			if decisions > 0 {
+				b.ReportMetric(100*float64(violations)/float64(decisions), "bad-decisions-%")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationMonitor compares the estimating monitor (inferring
+// availability from progress shortfall) against an oracle that reads the
+// ground truth directly: time per detection plus the detection latency.
+func BenchmarkAblationMonitor(b *testing.B) {
+	run := func(b *testing.B, oracle bool) {
+		var totalLatency time.Duration
+		for i := 0; i < b.N; i++ {
+			sim := vtime.NewSim()
+			host := sandbox.NewHost(sim, "h", 100e6, sandbox.WithOSLoad(0))
+			sb, err := host.NewSandbox("app", 0.9, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			agent := monitor.New(sim, "mon", monitor.WithHysteresis(3),
+				monitor.WithWindow(100*time.Millisecond))
+			share := 0.9
+			if oracle {
+				agent.AddProbe(&monitor.OracleProbe{Comp: "client", K: resource.CPU,
+					Fn: func(time.Duration) (float64, bool) { return share, true }})
+			} else {
+				agent.AddProbe(monitor.NewCPUProbe("client", sb))
+			}
+			agent.SetValidRange("client", resource.CPU, 0.6, 1.0)
+			agent.Start()
+			sim.Spawn("app", func(p *vtime.Proc) { sb.Compute(p, 1e9) })
+			const dropAt = 2 * time.Second
+			sim.After(dropAt, func() {
+				share = 0.4
+				_ = sb.SetCPUShare(0.4)
+			})
+			var detected time.Duration
+			sim.Spawn("listener", func(p *vtime.Proc) {
+				trig, ok, ready := agent.Triggers().RecvTimeout(p, 20*time.Second)
+				if ok && ready {
+					detected = trig.At
+				}
+				agent.Stop()
+				sim.Stop()
+			})
+			if err := sim.Run(); err != nil && err != vtime.ErrStopped {
+				b.Fatal(err)
+			}
+			if detected == 0 {
+				b.Fatal("drop not detected")
+			}
+			totalLatency += detected - dropAt
+		}
+		b.ReportMetric(float64(totalLatency.Milliseconds())/float64(b.N), "detect-ms")
+	}
+	b.Run("estimating", func(b *testing.B) { run(b, false) })
+	b.Run("oracle", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkAblationHysteresis measures how the trigger hysteresis damps
+// reconfiguration thrashing under a noisy resource signal (Section 7.5).
+func BenchmarkAblationHysteresis(b *testing.B) {
+	for _, h := range []int{1, 3, 5} {
+		b.Run(map[int]string{1: "h1", 3: "h3", 5: "h5"}[h], func(b *testing.B) {
+			var triggers int64
+			for i := 0; i < b.N; i++ {
+				sim := vtime.NewSim()
+				agent := monitor.New(sim, "mon",
+					monitor.WithHysteresis(h),
+					monitor.WithWindow(10*time.Millisecond))
+				tick := 0
+				agent.AddProbe(&monitor.OracleProbe{Comp: "c", K: resource.CPU,
+					Fn: func(time.Duration) (float64, bool) {
+						tick++
+						if tick%9 == 0 { // periodic single-sample dips
+							return 0.02, true
+						}
+						return 0.9, true
+					}})
+				agent.SetValidRange("c", resource.CPU, 0.5, 1.0)
+				agent.Start()
+				sim.Spawn("driver", func(p *vtime.Proc) {
+					p.Sleep(5 * time.Second)
+					agent.Stop()
+				})
+				if err := sim.Run(); err != nil {
+					b.Fatal(err)
+				}
+				for {
+					if _, _, ready := agent.Triggers().TryRecv(); !ready {
+						break
+					}
+					triggers++
+				}
+			}
+			b.ReportMetric(float64(triggers)/float64(b.N), "triggers")
+		})
+	}
+}
+
+// BenchmarkAblationPruning measures scheduling cost and candidate-set size
+// with and without dominated-configuration pruning (footnote 1).
+func BenchmarkAblationPruning(b *testing.B) {
+	prefs := []scheduler.Preference{{Name: "fast", Objective: "t"}}
+	for _, prune := range []bool{false, true} {
+		name := "unpruned"
+		if prune {
+			name = "pruned"
+		}
+		b.Run(name, func(b *testing.B) {
+			db, app := ablationDB(b, 32)
+			if prune {
+				db.Prune()
+			}
+			s, err := scheduler.New(app, db, prefs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Select(resource.Vector{resource.CPU: 0.55}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(s.Candidates())), "candidates")
+		})
+	}
+}
+
+// ---- Micro-benchmarks of the substrates ----
+
+func benchChunk(b *testing.B) []byte {
+	b.Helper()
+	pyr, err := avis.SharedStore().Pyramid(512, 4, 99)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ch, err := pyr.ExtractRegion(4, 256, 256, 256, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ch.Encode()
+}
+
+func BenchmarkLZWEncode(b *testing.B) {
+	data := benchChunk(b)
+	codec, _ := compress.Lookup("lzw")
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		codec.Encode(data)
+	}
+}
+
+func BenchmarkBZWEncode(b *testing.B) {
+	data := benchChunk(b)
+	codec, _ := compress.Lookup("bzw")
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		codec.Encode(data)
+	}
+}
+
+func BenchmarkLZWDecode(b *testing.B) {
+	data := benchChunk(b)
+	codec, _ := compress.Lookup("lzw")
+	enc := codec.Encode(data)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := codec.Decode(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBZWDecode(b *testing.B) {
+	data := benchChunk(b)
+	codec, _ := compress.Lookup("bzw")
+	enc := codec.Encode(data)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := codec.Decode(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHaarDecompose(b *testing.B) {
+	im := imagery.Generate(512, 7)
+	b.SetBytes(int64(len(im.Pix) * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := wavelet.Decompose(im, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkChunkExtract(b *testing.B) {
+	pyr, err := avis.SharedStore().Pyramid(512, 4, 98)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pyr.ExtractRegion(4, 256, 256, 256, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVtimeChannel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sim := vtime.NewSim()
+		ch := vtime.NewChan[int](sim, 0)
+		const msgs = 1000
+		sim.Spawn("sender", func(p *vtime.Proc) {
+			for k := 0; k < msgs; k++ {
+				ch.Send(p, k)
+			}
+		})
+		sim.Spawn("receiver", func(p *vtime.Proc) {
+			for k := 0; k < msgs; k++ {
+				ch.Recv(p)
+			}
+		})
+		if err := sim.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSandboxCompute(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sim := vtime.NewSim()
+		host := sandbox.NewHost(sim, "h", 450e6)
+		sb, err := host.NewSandbox("app", 0.5, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sim.Spawn("app", func(p *vtime.Proc) { sb.Compute(p, 450e6) })
+		if err := sim.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkImageFetchSimulated(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		w, err := avis.NewWorld(avis.WorldConfig{
+			Side:   512,
+			Seeds:  []int64{99},
+			Params: avis.Params{DR: 128, Codec: "lzw", Level: 4},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := w.RunSequence(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationSmoothing compares the window-mean estimator against
+// EWMA smoothing: detection latency for a genuine step change.
+func BenchmarkAblationSmoothing(b *testing.B) {
+	run := func(b *testing.B, mode monitor.Smoothing) {
+		var totalLatency time.Duration
+		for i := 0; i < b.N; i++ {
+			sim := vtime.NewSim()
+			agent := monitor.New(sim, "mon",
+				monitor.WithHysteresis(3),
+				monitor.WithWindow(200*time.Millisecond),
+				monitor.WithSmoothing(mode, 0.1))
+			share := 0.9
+			agent.AddProbe(&monitor.OracleProbe{Comp: "c", K: resource.CPU,
+				Fn: func(time.Duration) (float64, bool) { return share, true }})
+			agent.SetValidRange("c", resource.CPU, 0.6, 1.0)
+			agent.Start()
+			const dropAt = time.Second
+			sim.After(dropAt, func() { share = 0.4 })
+			var detected time.Duration
+			sim.Spawn("listener", func(p *vtime.Proc) {
+				trig, ok, ready := agent.Triggers().RecvTimeout(p, 20*time.Second)
+				if ok && ready {
+					detected = trig.At
+				}
+				agent.Stop()
+				sim.Stop()
+			})
+			if err := sim.Run(); err != nil && err != vtime.ErrStopped {
+				b.Fatal(err)
+			}
+			if detected == 0 {
+				b.Fatal("step not detected")
+			}
+			totalLatency += detected - dropAt
+		}
+		b.ReportMetric(float64(totalLatency.Milliseconds())/float64(b.N), "detect-ms")
+	}
+	b.Run("window", func(b *testing.B) { run(b, monitor.WindowMean) })
+	b.Run("ewma", func(b *testing.B) { run(b, monitor.EWMA) })
+}

@@ -1,0 +1,68 @@
+// Command avis-adapt runs the paper's three run-time adaptation
+// experiments (Section 7) end to end on the virtual-time testbed: the full
+// framework — monitoring agent, performance database, resource scheduler,
+// steering agent — drives the visualization application through a mid-run
+// resource change, alongside the two non-adaptive baselines the paper
+// plots.
+//
+// Usage:
+//
+//	avis-adapt -exp 1     # codec adaptation to a bandwidth drop
+//	avis-adapt -exp 2     # resolution adaptation to a CPU drop
+//	avis-adapt -exp 3     # fovea adaptation to a CPU drop
+//	avis-adapt -exp all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"tunable/internal/expt"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: 1, 2, 3, or all")
+	events := flag.Bool("events", false, "print the framework's decision log")
+	flag.Parse()
+
+	run := func(id string, f func() (*expt.ExperimentResult, error)) {
+		e, err := f()
+		if err != nil {
+			log.Fatalf("avis-adapt: experiment %s: %v", id, err)
+		}
+		if err := e.Fig.Render(os.Stdout); err != nil {
+			log.Fatalf("avis-adapt: %v", err)
+		}
+		if id == "3" {
+			if err := expt.Figure7d(e).Render(os.Stdout); err != nil {
+				log.Fatalf("avis-adapt: %v", err)
+			}
+		}
+		fmt.Printf("summary %s: adaptive %.2fs (%d switches, final %s) | %s %.2fs | %s %.2fs\n\n",
+			id, e.Adaptive.Total.Seconds(), e.Adaptive.Switches, e.Adaptive.Final.Key(),
+			e.StaticA.Label, e.StaticA.Total.Seconds(),
+			e.StaticB.Label, e.StaticB.Total.Seconds())
+		if *events {
+			for _, ev := range e.Adaptive.Events {
+				fmt.Printf("  %-12v %-12s %s\n", ev.At, ev.Kind, ev.Detail)
+			}
+			fmt.Println()
+		}
+	}
+	switch *exp {
+	case "1":
+		run("1", expt.Experiment1)
+	case "2":
+		run("2", expt.Experiment2)
+	case "3":
+		run("3", expt.Experiment3)
+	case "all":
+		run("1", expt.Experiment1)
+		run("2", expt.Experiment2)
+		run("3", expt.Experiment3)
+	default:
+		log.Fatalf("avis-adapt: unknown experiment %q", *exp)
+	}
+}

@@ -1,0 +1,74 @@
+// Command avis-client downloads images from a running avis-server over
+// real TCP, optionally through a token-bucket-shaped link, and reports the
+// QoS metrics of the paper (transmission time, average round response
+// time, resolution) for each image.
+//
+// Usage:
+//
+//	avis-client -addr localhost:7465 -dr 320 -codec lzw -level 4 -n 3 -bw 500000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+
+	"tunable/internal/avis"
+	"tunable/internal/wavelet"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:7465", "server address")
+	dr := flag.Int("dr", 320, "incremental fovea size")
+	codec := flag.String("codec", "lzw", "compression method: lzw, bzw, or raw")
+	level := flag.Int("level", 4, "resolution level")
+	n := flag.Int("n", 1, "number of images to download")
+	bw := flag.Float64("bw", 0, "shape the connection to this many bytes/second (0 = unshaped)")
+	verify := flag.Bool("verify", false, "reconstruct images client-side and report integrity")
+	flag.Parse()
+
+	conn, err := net.Dial("tcp", *addr)
+	if err != nil {
+		log.Fatalf("avis-client: %v", err)
+	}
+	client, err := avis.NewRealClient(avis.Shape(conn, *bw), avis.Params{
+		DR: *dr, Codec: *codec, Level: *level,
+	})
+	if err != nil {
+		log.Fatalf("avis-client: %v", err)
+	}
+	defer client.Close()
+	if err := client.Connect(); err != nil {
+		log.Fatalf("avis-client: connect: %v", err)
+	}
+	geom := client.Geometry()
+	fmt.Printf("connected: %d images, %d² pixels, %d levels\n",
+		geom.NumImages, geom.Side, geom.Levels)
+
+	fmt.Println("image\ttransmit(s)\tresponse(s)\trounds\traw(B)\twire(B)")
+	for i := 0; i < *n; i++ {
+		img := i % geom.NumImages
+		var canvas *wavelet.Canvas
+		if *verify {
+			var err error
+			canvas, err = wavelet.NewCanvas(geom.Side, geom.Levels)
+			if err != nil {
+				log.Fatalf("avis-client: %v", err)
+			}
+		}
+		st, err := client.FetchImage(img, canvas)
+		if err != nil {
+			log.Fatalf("avis-client: fetch %d: %v", img, err)
+		}
+		fmt.Printf("%d\t%.3f\t%.3f\t%d\t%d\t%d\n",
+			img, st.TransmitTime.Seconds(), st.AvgResponse.Seconds(),
+			st.Rounds, st.RawBytes, st.WireBytes)
+		if canvas != nil {
+			if _, err := canvas.Reconstruct(*level); err != nil {
+				log.Fatalf("avis-client: reconstruction failed: %v", err)
+			}
+			fmt.Printf("  image %d reconstructed at level %d\n", img, *level)
+		}
+	}
+}

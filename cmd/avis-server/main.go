@@ -1,0 +1,43 @@
+// Command avis-server runs the active visualization server over real TCP:
+// it generates a synthetic image set, stores it as wavelet pyramids, and
+// answers progressive foveal requests with the codec each client announces.
+//
+// Usage:
+//
+//	avis-server -addr :7465 -side 1024 -levels 4 -images 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+
+	"tunable/internal/avis"
+)
+
+func main() {
+	addr := flag.String("addr", ":7465", "listen address")
+	side := flag.Int("side", 1024, "image side in pixels (divisible by 2^levels)")
+	levels := flag.Int("levels", 4, "wavelet decomposition depth")
+	images := flag.Int("images", 3, "number of synthetic images to serve")
+	flag.Parse()
+
+	seeds := make([]int64, *images)
+	for i := range seeds {
+		seeds[i] = int64(i + 1)
+	}
+	srv, err := avis.NewRealServer(*side, *levels, seeds, avis.SharedStore())
+	if err != nil {
+		log.Fatalf("avis-server: %v", err)
+	}
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("avis-server: %v", err)
+	}
+	fmt.Printf("avis-server: serving %d images (%d², %d levels) on %s\n",
+		*images, *side, *levels, l.Addr())
+	if err := srv.Serve(l); err != nil {
+		log.Fatalf("avis-server: %v", err)
+	}
+}

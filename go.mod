@@ -1,0 +1,3 @@
+module tunable
+
+go 1.22

@@ -1,0 +1,369 @@
+package avis
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"tunable/internal/compress"
+	"tunable/internal/netem"
+	"tunable/internal/wavelet"
+)
+
+// Real-network deployment mode: the same wire protocol, wavelet pyramid,
+// and codecs as the simulated experiments, but spoken over actual TCP with
+// wall-clock timing. Compute costs are the real costs of the real work, so
+// no sandbox metering applies; optional token-bucket shaping (package
+// netem) stands in for constrained links. Used by cmd/avis-server and
+// cmd/avis-client.
+
+// frameLimit bounds a single protocol frame (a frame carries at most one
+// reply segment plus headers).
+const frameLimit = 1 << 22
+
+// writeFrame sends one length-prefixed protocol message.
+func writeFrame(w io.Writer, msg []byte) error {
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(msg)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(msg)
+	return err
+}
+
+// readFrame receives one length-prefixed protocol message.
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > frameLimit {
+		return nil, fmt.Errorf("avis: frame of %d bytes exceeds limit", n)
+	}
+	msg := make([]byte, n)
+	if _, err := io.ReadFull(r, msg); err != nil {
+		return nil, err
+	}
+	return msg, nil
+}
+
+// RealServer serves the visualization protocol over net.Conn connections.
+type RealServer struct {
+	geom     Geometry
+	seeds    []int64
+	store    *ImageStore
+	segBytes int
+}
+
+// NewRealServer creates a server for the given synthetic image set.
+func NewRealServer(side, levels int, seeds []int64, store *ImageStore) (*RealServer, error) {
+	if side <= 0 || levels <= 0 || len(seeds) == 0 {
+		return nil, fmt.Errorf("avis: invalid real-server geometry")
+	}
+	if store == nil {
+		store = sharedStore
+	}
+	return &RealServer{
+		geom:     Geometry{Side: side, Levels: levels, NumImages: len(seeds)},
+		seeds:    seeds,
+		store:    store,
+		segBytes: DefaultSegmentBytes,
+	}, nil
+}
+
+// Serve accepts connections until the listener closes, handling each in
+// its own goroutine.
+func (s *RealServer) Serve(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		go func() {
+			defer conn.Close()
+			_ = s.handle(conn)
+		}()
+	}
+}
+
+// handle services one connection.
+func (s *RealServer) handle(conn net.Conn) error {
+	r := bufio.NewReaderSize(conn, 64<<10)
+	w := bufio.NewWriterSize(conn, 64<<10)
+	codec, _ := compress.Lookup("raw")
+	for {
+		msg, err := readFrame(r)
+		if err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return err
+		}
+		if len(msg) == 0 {
+			continue
+		}
+		switch msg[0] {
+		case tagHello:
+			if err := writeFrame(w, encodeGeom(s.geom)); err != nil {
+				return err
+			}
+		case tagNotify:
+			name, err := decodeNotify(msg)
+			if err != nil {
+				if werr := writeFrame(w, encodeError(err.Error())); werr != nil {
+					return werr
+				}
+				break
+			}
+			c, err := compress.Lookup(name)
+			if err != nil {
+				if werr := writeFrame(w, encodeError(err.Error())); werr != nil {
+					return werr
+				}
+				break
+			}
+			codec = c
+		case tagRequest:
+			req, err := decodeRequest(msg)
+			if err == nil {
+				err = s.serveReal(w, codec, req)
+			}
+			if err != nil {
+				if werr := writeFrame(w, encodeError(err.Error())); werr != nil {
+					return werr
+				}
+			}
+		case tagClose:
+			return w.Flush()
+		default:
+			if err := writeFrame(w, encodeError("unknown message")); err != nil {
+				return err
+			}
+		}
+		if err := w.Flush(); err != nil {
+			return err
+		}
+	}
+}
+
+func (s *RealServer) serveReal(w io.Writer, codec compress.Codec, req Request) error {
+	if req.Image < 0 || req.Image >= len(s.seeds) {
+		return fmt.Errorf("image %d out of range", req.Image)
+	}
+	pyr, err := s.store.Pyramid(s.geom.Side, s.geom.Levels, s.seeds[req.Image])
+	if err != nil {
+		return err
+	}
+	chunk, err := pyr.ExtractRegion(req.Level, req.X, req.Y, req.R, req.PrevR)
+	if err != nil {
+		return err
+	}
+	raw := chunk.Encode()
+	enc := codec.Encode(raw)
+	total := len(enc)
+	for off := 0; off < total || off == 0; off += s.segBytes {
+		end := off + s.segBytes
+		if end > total {
+			end = total
+		}
+		rawShare := len(raw)
+		if total > 0 {
+			rawShare = len(raw) * (end - off) / total
+		}
+		seg := Segment{Image: req.Image, Seq: req.Seq, Raw: rawShare, Last: end == total, Payload: enc[off:end]}
+		if err := writeFrame(w, encodeSegment(seg)); err != nil {
+			return err
+		}
+		if end == total {
+			break
+		}
+	}
+	return nil
+}
+
+// RealClient fetches images over a net.Conn using wall-clock timing.
+type RealClient struct {
+	conn   net.Conn
+	r      *bufio.Reader
+	w      *bufio.Writer
+	geom   Geometry
+	params Params
+	codec  compress.Codec
+	stats  []ImageStat
+	epoch  time.Time
+}
+
+// NewRealClient wraps an established connection. Wrap conn in
+// netem.NewShapedConn first to emulate a constrained link.
+func NewRealClient(conn net.Conn, params Params) (*RealClient, error) {
+	codec, err := compress.Lookup(params.Codec)
+	if err != nil {
+		return nil, err
+	}
+	return &RealClient{
+		conn:   conn,
+		r:      bufio.NewReaderSize(conn, 64<<10),
+		w:      bufio.NewWriterSize(conn, 64<<10),
+		params: params,
+		codec:  codec,
+		epoch:  time.Now(),
+	}, nil
+}
+
+// Connect performs the handshake and codec announcement.
+func (c *RealClient) Connect() error {
+	if err := writeFrame(c.w, encodeHello()); err != nil {
+		return err
+	}
+	if err := c.w.Flush(); err != nil {
+		return err
+	}
+	msg, err := readFrame(c.r)
+	if err != nil {
+		return err
+	}
+	geom, err := decodeGeom(msg)
+	if err != nil {
+		return err
+	}
+	c.geom = geom
+	return c.SetCodec(c.params.Codec)
+}
+
+// Geometry returns the server's announced geometry.
+func (c *RealClient) Geometry() Geometry { return c.geom }
+
+// SetCodec switches the compression method (the notify_server action).
+func (c *RealClient) SetCodec(name string) error {
+	codec, err := compress.Lookup(name)
+	if err != nil {
+		return err
+	}
+	if err := writeFrame(c.w, encodeNotify(name)); err != nil {
+		return err
+	}
+	if err := c.w.Flush(); err != nil {
+		return err
+	}
+	c.codec = codec
+	c.params.Codec = name
+	return nil
+}
+
+// SetParams updates dR and level for subsequent fetches.
+func (c *RealClient) SetParams(p Params) error {
+	if p.Codec != c.params.Codec {
+		if err := c.SetCodec(p.Codec); err != nil {
+			return err
+		}
+	}
+	c.params.DR = p.DR
+	c.params.Level = p.Level
+	return nil
+}
+
+// Stats returns per-image statistics.
+func (c *RealClient) Stats() []ImageStat { return c.stats }
+
+// Close ends the session.
+func (c *RealClient) Close() error {
+	if err := writeFrame(c.w, encodeClose()); err == nil {
+		_ = c.w.Flush()
+	}
+	return c.conn.Close()
+}
+
+// FetchImage downloads one image progressively, measuring wall-clock QoS.
+func (c *RealClient) FetchImage(img int, canvas *wavelet.Canvas) (ImageStat, error) {
+	if c.geom.Side == 0 {
+		return ImageStat{}, fmt.Errorf("avis: not connected")
+	}
+	level := c.params.Level
+	size := (c.geom.Side >> c.geom.Levels) << level
+	scale := c.geom.Side / size
+	x, y := c.geom.Side/2, c.geom.Side/2
+	stat := ImageStat{
+		Image: img, Level: level, Codec: c.params.Codec, DR: c.params.DR,
+		Start: time.Since(c.epoch),
+	}
+	start := time.Now()
+	var respSum time.Duration
+	r, prevR, rounds := 0, 0, 0
+	for r < size {
+		t0 := time.Now()
+		r += c.params.DR
+		if r > size {
+			r = size
+		}
+		fullR := r * scale / 2
+		fullPrev := prevR * scale / 2
+		if fullR <= fullPrev {
+			prevR = r
+			continue
+		}
+		req := Request{Image: img, X: x, Y: y, R: fullR, PrevR: fullPrev, Level: level}
+		if err := writeFrame(c.w, encodeRequest(req)); err != nil {
+			return stat, err
+		}
+		if err := c.w.Flush(); err != nil {
+			return stat, err
+		}
+		var compressed []byte
+		for {
+			msg, err := readFrame(c.r)
+			if err != nil {
+				return stat, err
+			}
+			if len(msg) > 0 && msg[0] == tagError {
+				return stat, fmt.Errorf("avis: server error: %s", msg[1:])
+			}
+			seg, err := decodeSegment(msg)
+			if err != nil {
+				return stat, err
+			}
+			compressed = append(compressed, seg.Payload...)
+			if seg.Last {
+				break
+			}
+		}
+		data, err := c.codec.Decode(compressed)
+		if err != nil {
+			return stat, err
+		}
+		if canvas != nil {
+			chunk, err := wavelet.DecodeChunk(data)
+			if err != nil {
+				return stat, err
+			}
+			if err := canvas.Apply(chunk); err != nil {
+				return stat, err
+			}
+		}
+		stat.RawBytes += int64(len(data))
+		stat.WireBytes += int64(len(compressed))
+		prevR = r
+		rounds++
+		respSum += time.Since(t0)
+	}
+	stat.TransmitTime = time.Since(start)
+	stat.Rounds = rounds
+	if rounds > 0 {
+		stat.AvgResponse = respSum / time.Duration(rounds)
+	}
+	c.stats = append(c.stats, stat)
+	return stat, nil
+}
+
+// Shape wraps a dialed connection with a bandwidth limit; exported here so
+// the cmd tools need not import netem directly.
+func Shape(conn net.Conn, bytesPerSec float64) net.Conn {
+	if bytesPerSec <= 0 {
+		return conn
+	}
+	return netem.NewShapedConn(conn, bytesPerSec)
+}

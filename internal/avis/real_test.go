@@ -1,0 +1,169 @@
+package avis
+
+import (
+	"net"
+	"testing"
+
+	"tunable/internal/wavelet"
+)
+
+// startRealServer launches a real server on a loopback listener.
+func startRealServer(t *testing.T) (addr string, stop func()) {
+	t.Helper()
+	srv, err := NewRealServer(256, 4, []int64{1, 2}, testStore)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.Serve(l) }()
+	return l.Addr().String(), func() { l.Close() }
+}
+
+func dialReal(t *testing.T, addr string, p Params) *RealClient {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewRealClient(conn, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Connect(); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestRealTCPFetch(t *testing.T) {
+	addr, stop := startRealServer(t)
+	defer stop()
+	c := dialReal(t, addr, Params{DR: 64, Codec: "lzw", Level: 4})
+	defer c.Close()
+	if c.Geometry().Side != 256 || c.Geometry().NumImages != 2 {
+		t.Fatalf("geometry %+v", c.Geometry())
+	}
+	st, err := c.FetchImage(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Rounds != 4 {
+		t.Fatalf("rounds %d", st.Rounds)
+	}
+	if st.RawBytes < 256*256 {
+		t.Fatalf("raw bytes %d", st.RawBytes)
+	}
+	if st.WireBytes >= st.RawBytes {
+		t.Fatalf("compression ineffective: wire %d raw %d", st.WireBytes, st.RawBytes)
+	}
+	if len(c.Stats()) != 1 {
+		t.Fatal("stats not recorded")
+	}
+}
+
+func TestRealTCPReconstruction(t *testing.T) {
+	addr, stop := startRealServer(t)
+	defer stop()
+	c := dialReal(t, addr, Params{DR: 64, Codec: "bzw", Level: 4})
+	defer c.Close()
+	canvas, err := wavelet.NewCanvas(256, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.FetchImage(1, canvas); err != nil {
+		t.Fatal(err)
+	}
+	recon, err := canvas.Reconstruct(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := testStore.Image(256, 2)
+	psnr, err := refPSNR(ref, recon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if psnr < 30 {
+		t.Fatalf("PSNR over real TCP %.1f dB", psnr)
+	}
+}
+
+func TestRealTCPCodecSwitch(t *testing.T) {
+	addr, stop := startRealServer(t)
+	defer stop()
+	c := dialReal(t, addr, Params{DR: 128, Codec: "lzw", Level: 3})
+	defer c.Close()
+	st1, err := c.FetchImage(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetParams(Params{DR: 128, Codec: "bzw", Level: 3}); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := c.FetchImage(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1.RawBytes != st2.RawBytes {
+		t.Fatalf("raw bytes differ: %d vs %d", st1.RawBytes, st2.RawBytes)
+	}
+	if st2.WireBytes >= st1.WireBytes {
+		t.Fatalf("bzw (%d) not smaller than lzw (%d) on the wire", st2.WireBytes, st1.WireBytes)
+	}
+}
+
+func TestRealTCPErrors(t *testing.T) {
+	addr, stop := startRealServer(t)
+	defer stop()
+	c := dialReal(t, addr, Params{DR: 64, Codec: "lzw", Level: 4})
+	defer c.Close()
+	if _, err := c.FetchImage(99, nil); err == nil {
+		t.Fatal("out-of-range image succeeded")
+	}
+	if err := c.SetCodec("zip9000"); err == nil {
+		t.Fatal("unknown codec accepted locally")
+	}
+	// A fresh client that never connected cannot fetch.
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	c2, err := NewRealClient(conn, Params{DR: 64, Codec: "lzw", Level: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2.FetchImage(0, nil); err == nil {
+		t.Fatal("fetch before connect succeeded")
+	}
+}
+
+func TestRealTCPShapedLink(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time shaping test")
+	}
+	addr, stop := startRealServer(t)
+	defer stop()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shaping the client's uplink affects only requests (tiny); this test
+	// just exercises the Shape path end to end.
+	c, err := NewRealClient(Shape(conn, 1<<20), Params{DR: 128, Codec: "lzw", Level: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Connect(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.FetchImage(0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if Shape(nil, 0) != nil {
+		t.Fatal("Shape(0) must pass through")
+	}
+}

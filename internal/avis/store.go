@@ -1,0 +1,80 @@
+package avis
+
+import (
+	"fmt"
+	"sync"
+
+	"tunable/internal/imagery"
+	"tunable/internal/wavelet"
+)
+
+// ImageStore caches decomposed pyramids. Building a 1024² pyramid costs
+// real milliseconds and tens of megabytes, and profiling sweeps run the
+// same images through hundreds of simulated worlds, so pyramids are shared
+// (they are read-only after construction). The mutex serializes cache
+// misses across the profiler's parallel workers.
+type ImageStore struct {
+	mu    sync.Mutex
+	cache map[string]*wavelet.Pyramid
+}
+
+// NewImageStore creates an empty cache.
+func NewImageStore() *ImageStore {
+	return &ImageStore{cache: make(map[string]*wavelet.Pyramid)}
+}
+
+// sharedStore serves all worlds that do not supply their own store.
+var sharedStore = NewImageStore()
+
+// SharedStore returns the process-wide pyramid cache.
+func SharedStore() *ImageStore { return sharedStore }
+
+// Pyramid returns the pyramid for a synthetic image identified by
+// (side, levels, seed), generating and decomposing it on first use.
+func (s *ImageStore) Pyramid(side, levels int, seed int64) (*wavelet.Pyramid, error) {
+	key := fmt.Sprintf("%d/%d/%d", side, levels, seed)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if p, ok := s.cache[key]; ok {
+		return p, nil
+	}
+	im := imagery.Generate(side, seed)
+	p, err := wavelet.Decompose(im, levels)
+	if err != nil {
+		return nil, err
+	}
+	s.cache[key] = p
+	return p, nil
+}
+
+// Image regenerates the source image for verification (PSNR checks).
+func (s *ImageStore) Image(side int, seed int64) *imagery.Image {
+	return imagery.Generate(side, seed)
+}
+
+// RandomInteraction builds a deterministic user-interaction model for the
+// client: at each round, with probability prob (in 1/256ths), the fovea
+// jumps to a pseudo-random position in the image, restarting the
+// progressive transmission there — the check_for_user_interaction effect
+// of Figure 2. side is the full-resolution image side.
+func RandomInteraction(seed int64, side int, prob256 int) func(img, round int) (int, int, bool) {
+	state := uint64(seed)*0x9E3779B97F4A7C15 + 0xD6E8FEB86659FD93
+	next := func() uint64 {
+		state += 0x9E3779B97F4A7C15
+		z := state
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		return z ^ (z >> 31)
+	}
+	return func(img, round int) (int, int, bool) {
+		h := next()
+		if int(h&0xFF) >= prob256 {
+			return 0, 0, false
+		}
+		margin := side / 8
+		span := uint64(side - 2*margin)
+		x := margin + int((h>>8)%span)
+		y := margin + int((h>>32)%span)
+		return x, y, true
+	}
+}

@@ -1,0 +1,127 @@
+package compress
+
+import (
+	"fmt"
+	"sort"
+)
+
+// suffixArray computes the suffix array of data plus a virtual sentinel
+// smaller than every byte, using prefix doubling (O(n log² n), robust to
+// highly repetitive input). The returned array has length len(data)+1 and
+// its first entry is always the sentinel suffix.
+func suffixArray(data []byte) []int32 {
+	n := len(data) + 1
+	sa := make([]int32, n)
+	rank := make([]int32, n)
+	tmp := make([]int32, n)
+	for i := 0; i < n-1; i++ {
+		rank[i] = int32(data[i]) + 1
+		sa[i] = int32(i)
+	}
+	rank[n-1] = 0 // sentinel
+	sa[n-1] = int32(n - 1)
+	for k := 1; ; k *= 2 {
+		key := func(i int32) (int32, int32) {
+			second := int32(-1)
+			if int(i)+k < n {
+				second = rank[int(i)+k]
+			}
+			return rank[i], second
+		}
+		sort.Slice(sa, func(a, b int) bool {
+			a1, a2 := key(sa[a])
+			b1, b2 := key(sa[b])
+			if a1 != b1 {
+				return a1 < b1
+			}
+			return a2 < b2
+		})
+		tmp[sa[0]] = 0
+		for i := 1; i < n; i++ {
+			tmp[sa[i]] = tmp[sa[i-1]]
+			c1, c2 := key(sa[i])
+			p1, p2 := key(sa[i-1])
+			if c1 != p1 || c2 != p2 {
+				tmp[sa[i]]++
+			}
+		}
+		copy(rank, tmp)
+		if rank[sa[n-1]] == int32(n-1) {
+			break
+		}
+	}
+	return sa
+}
+
+// bwtForward computes the Burrows–Wheeler transform of data with an
+// implicit sentinel. The output has the same length as the input; primary
+// is the row at which the (omitted) sentinel character sits.
+func bwtForward(data []byte) (out []byte, primary int) {
+	sa := suffixArray(data)
+	out = make([]byte, 0, len(data))
+	for i, p := range sa {
+		if p == 0 {
+			primary = i
+			continue
+		}
+		out = append(out, data[p-1])
+	}
+	return out, primary
+}
+
+// bwtInverse inverts bwtForward.
+func bwtInverse(bwt []byte, primary int) ([]byte, error) {
+	n := len(bwt)
+	if n == 0 {
+		return []byte{}, nil
+	}
+	if primary < 1 || primary > n {
+		return nil, fmt.Errorf("compress: bwt primary index %d out of range", primary)
+	}
+	// F-column starts: row 0 is the sentinel; byte b's rows start after all
+	// smaller bytes.
+	var cnt [256]int
+	for _, b := range bwt {
+		cnt[b]++
+	}
+	var start [256]int
+	s := 1
+	for b := 0; b < 256; b++ {
+		start[b] = s
+		s += cnt[b]
+	}
+	// LF mapping over the n+1 rows (sentinel row maps to row 0).
+	lf := make([]int32, n+1)
+	var occ [256]int
+	for i := 0; i <= n; i++ {
+		if i == primary {
+			lf[i] = 0
+			continue
+		}
+		j := i
+		if i > primary {
+			j = i - 1
+		}
+		b := bwt[j]
+		lf[i] = int32(start[b] + occ[b])
+		occ[b]++
+	}
+	// Row 0 is the sentinel-only suffix; L[0] = last byte of the text.
+	out := make([]byte, n)
+	r := 0
+	for k := n - 1; k >= 0; k-- {
+		if r == primary {
+			return nil, fmt.Errorf("compress: bwt cycle hit sentinel early")
+		}
+		j := r
+		if r > primary {
+			j = r - 1
+		}
+		out[k] = bwt[j]
+		r = int(lf[r])
+	}
+	if r != primary {
+		return nil, fmt.Errorf("compress: bwt cycle did not close")
+	}
+	return out, nil
+}

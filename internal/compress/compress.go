@@ -1,0 +1,83 @@
+// Package compress implements the two compression methods of the active
+// visualization application from scratch: method A, an LZW coder (fast,
+// moderate ratio), and method B, a Bzip2-style chain of run-length coding,
+// Burrows–Wheeler transform, move-to-front, zero-run coding, and Huffman
+// coding (slow, better ratio). The CPU-cost/ratio contrast between the two
+// is what produces the crossover of Figure 6(a).
+//
+// Codecs also carry a CostFactor: the relative processor work per input
+// byte charged to the sandbox when the virtual-time experiments compress
+// or decompress data. The factors are calibrated in package avis.
+package compress
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Codec is a lossless byte-stream compressor.
+type Codec interface {
+	// Name is the registry key ("lzw", "bzw", "raw").
+	Name() string
+	// Encode compresses src into a fresh buffer.
+	Encode(src []byte) []byte
+	// Decode decompresses data produced by Encode.
+	Decode(src []byte) ([]byte, error)
+	// EncodeCost is the relative CPU work per input byte of Encode.
+	EncodeCost() float64
+	// DecodeCost is the relative CPU work per output byte of Decode.
+	DecodeCost() float64
+}
+
+var registry = map[string]Codec{}
+
+// Register adds a codec to the registry; duplicate names panic.
+func Register(c Codec) {
+	if _, dup := registry[c.Name()]; dup {
+		panic("compress: duplicate codec " + c.Name())
+	}
+	registry[c.Name()] = c
+}
+
+// Lookup returns the codec registered under name.
+func Lookup(name string) (Codec, error) {
+	c, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("compress: unknown codec %q", name)
+	}
+	return c, nil
+}
+
+// Names lists registered codecs in sorted order.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Raw is the identity codec (compression disabled).
+type Raw struct{}
+
+// Name implements Codec.
+func (Raw) Name() string { return "raw" }
+
+// Encode implements Codec.
+func (Raw) Encode(src []byte) []byte { return append([]byte(nil), src...) }
+
+// Decode implements Codec.
+func (Raw) Decode(src []byte) ([]byte, error) { return append([]byte(nil), src...), nil }
+
+// EncodeCost implements Codec.
+func (Raw) EncodeCost() float64 { return 0.05 }
+
+// DecodeCost implements Codec.
+func (Raw) DecodeCost() float64 { return 0.05 }
+
+func init() {
+	Register(Raw{})
+	Register(NewLZW())
+	Register(NewBZW())
+}

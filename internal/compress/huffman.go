@@ -1,0 +1,180 @@
+package compress
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// Canonical Huffman coding over the byte alphabet. The encoded form is:
+// 256 code lengths (one byte each), a 4-byte little-endian symbol count,
+// then the LSB-first bitstream.
+
+type huffNode struct {
+	freq        int
+	sym         int // -1 for internal nodes
+	left, right *huffNode
+	order       int // tie-break for determinism
+}
+
+type huffHeap []*huffNode
+
+func (h huffHeap) Len() int { return len(h) }
+func (h huffHeap) Less(i, j int) bool {
+	if h[i].freq != h[j].freq {
+		return h[i].freq < h[j].freq
+	}
+	return h[i].order < h[j].order
+}
+func (h huffHeap) Swap(i, j int)   { h[i], h[j] = h[j], h[i] }
+func (h *huffHeap) Push(x any)     { *h = append(*h, x.(*huffNode)) }
+func (h *huffHeap) Pop() (out any) { old := *h; n := len(old); out = old[n-1]; *h = old[:n-1]; return }
+
+// huffLengths computes code lengths from symbol frequencies.
+func huffLengths(freq [256]int) [256]byte {
+	var lengths [256]byte
+	h := &huffHeap{}
+	order := 0
+	for s, f := range freq {
+		if f > 0 {
+			heap.Push(h, &huffNode{freq: f, sym: s, order: order})
+			order++
+		}
+	}
+	switch h.Len() {
+	case 0:
+		return lengths
+	case 1:
+		lengths[(*h)[0].sym] = 1
+		return lengths
+	}
+	for h.Len() > 1 {
+		a := heap.Pop(h).(*huffNode)
+		b := heap.Pop(h).(*huffNode)
+		heap.Push(h, &huffNode{freq: a.freq + b.freq, sym: -1, left: a, right: b, order: order})
+		order++
+	}
+	root := (*h)[0]
+	var walk func(n *huffNode, depth byte)
+	walk = func(n *huffNode, depth byte) {
+		if n.sym >= 0 {
+			lengths[n.sym] = depth
+			return
+		}
+		walk(n.left, depth+1)
+		walk(n.right, depth+1)
+	}
+	walk(root, 0)
+	return lengths
+}
+
+// canonicalCodes assigns canonical codes from lengths (shorter codes
+// first, ties by symbol value).
+func canonicalCodes(lengths [256]byte) [256]uint32 {
+	type sl struct {
+		sym int
+		l   byte
+	}
+	var syms []sl
+	for s, l := range lengths {
+		if l > 0 {
+			syms = append(syms, sl{sym: s, l: l})
+		}
+	}
+	sort.Slice(syms, func(i, j int) bool {
+		if syms[i].l != syms[j].l {
+			return syms[i].l < syms[j].l
+		}
+		return syms[i].sym < syms[j].sym
+	})
+	var codes [256]uint32
+	code := uint32(0)
+	prevLen := byte(0)
+	for _, s := range syms {
+		code <<= (s.l - prevLen)
+		codes[s.sym] = code
+		code++
+		prevLen = s.l
+	}
+	return codes
+}
+
+// huffEncode compresses src.
+func huffEncode(src []byte) []byte {
+	var freq [256]int
+	for _, b := range src {
+		freq[b]++
+	}
+	lengths := huffLengths(freq)
+	codes := canonicalCodes(lengths)
+	out := make([]byte, 0, 260+len(src)/2)
+	out = append(out, lengths[:]...)
+	out = append(out,
+		byte(len(src)), byte(len(src)>>8), byte(len(src)>>16), byte(len(src)>>24))
+	var w bitWriter
+	for _, b := range src {
+		// Canonical codes are MSB-first by construction; emit bits
+		// individually so the reader can walk them in order.
+		l := lengths[b]
+		code := codes[b]
+		for i := int(l) - 1; i >= 0; i-- {
+			w.write(uint32(code>>uint(i))&1, 1)
+		}
+	}
+	w.flush()
+	return append(out, w.buf...)
+}
+
+// huffDecode decompresses data produced by huffEncode.
+func huffDecode(src []byte) ([]byte, error) {
+	if len(src) < 260 {
+		return nil, fmt.Errorf("compress: huffman header truncated")
+	}
+	var lengths [256]byte
+	copy(lengths[:], src[:256])
+	n := int(src[256]) | int(src[257])<<8 | int(src[258])<<16 | int(src[259])<<24
+	if n == 0 {
+		return []byte{}, nil
+	}
+	codes := canonicalCodes(lengths)
+	// Build a decoding map from (length, code) to symbol.
+	type lc struct {
+		l byte
+		c uint32
+	}
+	decode := make(map[lc]byte)
+	maxLen := byte(0)
+	for s := 0; s < 256; s++ {
+		if lengths[s] > 0 {
+			decode[lc{l: lengths[s], c: codes[s]}] = byte(s)
+			if lengths[s] > maxLen {
+				maxLen = lengths[s]
+			}
+		}
+	}
+	if maxLen == 0 {
+		return nil, fmt.Errorf("compress: huffman table empty with %d symbols expected", n)
+	}
+	r := bitReader{data: src[260:]}
+	out := make([]byte, 0, n)
+	for len(out) < n {
+		var code uint32
+		var l byte
+		for {
+			bit, err := r.read(1)
+			if err != nil {
+				return nil, err
+			}
+			code = code<<1 | bit
+			l++
+			if sym, ok := decode[lc{l: l, c: code}]; ok {
+				out = append(out, sym)
+				break
+			}
+			if l > maxLen {
+				return nil, fmt.Errorf("compress: huffman bad code")
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,208 @@
+package compress
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// LZW is compression method A: a from-scratch Lempel–Ziv–Welch coder with
+// variable-width codes (9–12 bits, as in the GIF/compress-era coders contemporary with the paper) and dictionary reset on overflow,
+// equivalent in spirit to the LZW the paper's application used.
+type LZW struct{}
+
+// NewLZW returns the LZW codec.
+func NewLZW() LZW { return LZW{} }
+
+// Name implements Codec.
+func (LZW) Name() string { return "lzw" }
+
+// EncodeCost implements Codec.
+func (LZW) EncodeCost() float64 { return 1.0 }
+
+// DecodeCost implements Codec.
+func (LZW) DecodeCost() float64 { return 0.6 }
+
+const (
+	lzwMinWidth  = 9
+	lzwMaxWidth  = 12
+	lzwClearCode = 256
+	lzwFirstCode = 257
+	// lzwBlock bounds the streaming latency and memory of the coder: the
+	// dictionary is reset every lzwBlock input bytes, as interactive
+	// streaming implementations do. This keeps method A cheap and
+	// low-latency at the price of compression ratio — the tradeoff against
+	// method B that Experiment 1 adapts across.
+	lzwBlock = 1 << 10
+)
+
+// bitWriter packs codes LSB-first.
+type bitWriter struct {
+	buf  []byte
+	acc  uint64
+	bits uint
+}
+
+func (w *bitWriter) write(code uint32, width uint) {
+	w.acc |= uint64(code) << w.bits
+	w.bits += width
+	for w.bits >= 8 {
+		w.buf = append(w.buf, byte(w.acc))
+		w.acc >>= 8
+		w.bits -= 8
+	}
+}
+
+func (w *bitWriter) flush() {
+	if w.bits > 0 {
+		w.buf = append(w.buf, byte(w.acc))
+		w.acc, w.bits = 0, 0
+	}
+}
+
+// bitReader unpacks codes LSB-first.
+type bitReader struct {
+	data []byte
+	pos  int
+	acc  uint64
+	bits uint
+}
+
+func (r *bitReader) read(width uint) (uint32, error) {
+	for r.bits < width {
+		if r.pos >= len(r.data) {
+			return 0, fmt.Errorf("compress: lzw stream truncated")
+		}
+		r.acc |= uint64(r.data[r.pos]) << r.bits
+		r.pos++
+		r.bits += 8
+	}
+	code := uint32(r.acc & ((1 << width) - 1))
+	r.acc >>= width
+	r.bits -= width
+	return code, nil
+}
+
+// Encode implements Codec.
+func (LZW) Encode(src []byte) []byte {
+	var w bitWriter
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(src)))
+	w.buf = append(w.buf, hdr[:]...)
+	if len(src) == 0 {
+		return w.buf
+	}
+	// Dictionary: map from (prefix code, next byte) to code.
+	type entry struct {
+		prefix uint32
+		b      byte
+	}
+	for off := 0; off < len(src); off += lzwBlock {
+		end := off + lzwBlock
+		if end > len(src) {
+			end = len(src)
+		}
+		block := src[off:end]
+		dict := make(map[entry]uint32, 4096)
+		next := uint32(lzwFirstCode)
+		width := uint(lzwMinWidth)
+		cur := uint32(block[0])
+		for i := 1; i < len(block); i++ {
+			b := block[i]
+			key := entry{prefix: cur, b: b}
+			if code, ok := dict[key]; ok {
+				cur = code
+				continue
+			}
+			w.write(cur, width)
+			dict[key] = next
+			next++
+			// Grow the code width when the next code no longer fits; reset
+			// the dictionary at the width ceiling.
+			if next == 1<<width {
+				if width < lzwMaxWidth {
+					width++
+				} else {
+					w.write(lzwClearCode, width)
+					dict = make(map[entry]uint32, 4096)
+					next = lzwFirstCode
+					width = lzwMinWidth
+				}
+			}
+			cur = uint32(b)
+		}
+		w.write(cur, width)
+		if end < len(src) {
+			// Block boundary: a clear code tells the decoder to reset,
+			// exactly as the mid-stream overflow reset does. The decoder
+			// adds one more dictionary entry after the final code of the
+			// block and may widen at that point; mirror it so the clear
+			// code is written at the width the decoder will read with.
+			next++
+			if next == 1<<width && width < lzwMaxWidth {
+				width++
+			}
+			w.write(lzwClearCode, width)
+		}
+	}
+	w.flush()
+	return w.buf
+}
+
+// Decode implements Codec.
+func (LZW) Decode(src []byte) ([]byte, error) {
+	if len(src) < 4 {
+		return nil, fmt.Errorf("compress: lzw header truncated")
+	}
+	n := int(binary.LittleEndian.Uint32(src))
+	if n == 0 {
+		return []byte{}, nil
+	}
+	r := bitReader{data: src[4:]}
+	// Dictionary of byte strings; indices < 256 are implicit single bytes.
+	dict := make([][]byte, lzwFirstCode, 4096)
+	for i := 0; i < 256; i++ {
+		dict[i] = []byte{byte(i)}
+	}
+	width := uint(lzwMinWidth)
+	out := make([]byte, 0, n)
+	prevValid := false
+	var prev []byte
+	for len(out) < n {
+		code, err := r.read(width)
+		if err != nil {
+			return nil, err
+		}
+		if code == lzwClearCode {
+			dict = dict[:lzwFirstCode]
+			width = lzwMinWidth
+			prevValid = false
+			continue
+		}
+		var cur []byte
+		switch {
+		case int(code) < len(dict) && dict[code] != nil:
+			cur = dict[code]
+		case int(code) == len(dict) && prevValid:
+			// The KwKwK case.
+			cur = append(append([]byte{}, prev...), prev[0])
+		default:
+			return nil, fmt.Errorf("compress: lzw bad code %d", code)
+		}
+		out = append(out, cur...)
+		if prevValid {
+			dict = append(dict, append(append([]byte{}, prev...), cur[0]))
+		}
+		prev = cur
+		prevValid = true
+		// Width growth must track the encoder: the encoder widens after
+		// assigning code (1<<width)-1, which the decoder observes one step
+		// later (it has one fewer entry at the same point in the stream).
+		if len(dict) == 1<<width-1 && width < lzwMaxWidth {
+			width++
+		}
+	}
+	if len(out) != n {
+		return nil, fmt.Errorf("compress: lzw length mismatch %d != %d", len(out), n)
+	}
+	return out, nil
+}

@@ -1,0 +1,149 @@
+package compress
+
+import "fmt"
+
+// rle1Encode performs the Bzip2-style pre-transform run-length encoding:
+// runs of 4–259 equal bytes become the four bytes followed by a count
+// byte (run length − 4). It bounds the cost of the suffix sort on highly
+// repetitive input.
+func rle1Encode(src []byte) []byte {
+	out := make([]byte, 0, len(src)+len(src)/4)
+	i := 0
+	for i < len(src) {
+		b := src[i]
+		run := 1
+		for i+run < len(src) && src[i+run] == b && run < 259 {
+			run++
+		}
+		if run >= 4 {
+			out = append(out, b, b, b, b, byte(run-4))
+		} else {
+			for k := 0; k < run; k++ {
+				out = append(out, b)
+			}
+		}
+		i += run
+	}
+	return out
+}
+
+// rle1Decode inverts rle1Encode.
+func rle1Decode(src []byte) ([]byte, error) {
+	out := make([]byte, 0, len(src)*2)
+	i := 0
+	for i < len(src) {
+		b := src[i]
+		run := 1
+		for run < 4 && i+run < len(src) && src[i+run] == b {
+			run++
+		}
+		if run == 4 {
+			if i+4 >= len(src) {
+				return nil, fmt.Errorf("compress: rle1 truncated run")
+			}
+			extra := int(src[i+4])
+			for k := 0; k < 4+extra; k++ {
+				out = append(out, b)
+			}
+			i += 5
+			continue
+		}
+		for k := 0; k < run; k++ {
+			out = append(out, b)
+		}
+		i += run
+	}
+	return out, nil
+}
+
+// mtfEncode applies the move-to-front transform.
+func mtfEncode(src []byte) []byte {
+	var table [256]byte
+	for i := range table {
+		table[i] = byte(i)
+	}
+	out := make([]byte, len(src))
+	for i, b := range src {
+		var j int
+		for table[j] != b {
+			j++
+		}
+		out[i] = byte(j)
+		copy(table[1:j+1], table[:j])
+		table[0] = b
+	}
+	return out
+}
+
+// mtfDecode inverts mtfEncode.
+func mtfDecode(src []byte) []byte {
+	var table [256]byte
+	for i := range table {
+		table[i] = byte(i)
+	}
+	out := make([]byte, len(src))
+	for i, j := range src {
+		b := table[j]
+		out[i] = b
+		copy(table[1:int(j)+1], table[:j])
+		table[0] = b
+	}
+	return out
+}
+
+// zrleEncode run-length-codes the zero bytes that dominate MTF output:
+// each zero run becomes a 0x00 marker followed by length bytes (255 means
+// "255 and continue"). Non-zero bytes pass through.
+func zrleEncode(src []byte) []byte {
+	out := make([]byte, 0, len(src))
+	i := 0
+	for i < len(src) {
+		if src[i] != 0 {
+			out = append(out, src[i])
+			i++
+			continue
+		}
+		run := 0
+		for i+run < len(src) && src[i+run] == 0 {
+			run++
+		}
+		i += run
+		out = append(out, 0)
+		for run >= 255 {
+			out = append(out, 255)
+			run -= 255
+		}
+		out = append(out, byte(run))
+	}
+	return out
+}
+
+// zrleDecode inverts zrleEncode.
+func zrleDecode(src []byte) ([]byte, error) {
+	out := make([]byte, 0, len(src)*2)
+	i := 0
+	for i < len(src) {
+		b := src[i]
+		i++
+		if b != 0 {
+			out = append(out, b)
+			continue
+		}
+		run := 0
+		for {
+			if i >= len(src) {
+				return nil, fmt.Errorf("compress: zrle truncated run length")
+			}
+			c := src[i]
+			i++
+			run += int(c)
+			if c != 255 {
+				break
+			}
+		}
+		for k := 0; k < run; k++ {
+			out = append(out, 0)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,89 @@
+package expt
+
+import (
+	"fmt"
+
+	"tunable/internal/perfdb"
+	"tunable/internal/resource"
+	"tunable/internal/spec"
+)
+
+// dbSource supplies a lazily built per-figure database.
+type dbSource = func() (*perfdb.DB, error)
+
+// figureFromDB renders database slices as figure rows: one row per point
+// on the swept axis, one column per configuration.
+func figureFromDB(id, title string, db dbSource, metric string,
+	sweep resource.Kind, sweepPoints []float64, fixed resource.Vector,
+	cols []spec.Config, colNames []string, notes ...string) (*FigResult, error) {
+
+	d, err := db()
+	if err != nil {
+		return nil, err
+	}
+	res := &FigResult{
+		ID:      id,
+		Title:   title,
+		Headers: append([]string{string(sweep)}, colNames...),
+		Notes:   notes,
+	}
+	for _, x := range sweepPoints {
+		row := []string{fmt.Sprintf("%g", x)}
+		for _, c := range cols {
+			m, err := d.Predict(c, fixed.With(sweep, x))
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmt.Sprintf("%.2f", m[metric]))
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Figure5a reproduces image transmission time for fovea sizes 80/160/320
+// as the client CPU share varies (LZW, level 4, 500 KB/s).
+func Figure5a() (*FigResult, error) {
+	return figureFromDB("fig5a",
+		"image transmission time vs CPU share per fovea size",
+		Fig5DB, "transmit_time",
+		resource.CPU, shareAxis, resource.Vector{resource.Bandwidth: 500e3},
+		[]spec.Config{cfg(80, "lzw", 4), cfg(160, "lzw", 4), cfg(320, "lzw", 4)},
+		[]string{"fovea80(s)", "fovea160(s)", "fovea320(s)"},
+		"larger fovea → fewer rounds → smaller total transmission time")
+}
+
+// Figure5b reproduces average response time for the same sweep.
+func Figure5b() (*FigResult, error) {
+	return figureFromDB("fig5b",
+		"round response time vs CPU share per fovea size",
+		Fig5DB, "response_time",
+		resource.CPU, shareAxis, resource.Vector{resource.Bandwidth: 500e3},
+		[]spec.Config{cfg(80, "lzw", 4), cfg(160, "lzw", 4), cfg(320, "lzw", 4)},
+		[]string{"fovea80(s)", "fovea160(s)", "fovea320(s)"},
+		"larger fovea → more data per round → larger response time")
+}
+
+// Figure6a reproduces transmission time for the two compression methods as
+// bandwidth varies (level 4, dR 320, full CPU), showing the crossover.
+func Figure6a() (*FigResult, error) {
+	return figureFromDB("fig6a",
+		"image transmission time vs bandwidth per compression method",
+		Fig6aDB, "transmit_time",
+		resource.Bandwidth, bwAxis, resource.Vector{resource.CPU: 1.0},
+		[]spec.Config{cfg(320, "lzw", 4), cfg(320, "bzw", 4)},
+		[]string{"lzw(s)", "bzw(s)"},
+		"method A (LZW) wins at high bandwidth; method B (BZW) wins at low bandwidth")
+}
+
+// Figure6b reproduces transmission time for resolution levels 2/3/4 as the
+// CPU share varies (BZW, dR 320, 200 KB/s).
+func Figure6b() (*FigResult, error) {
+	return figureFromDB("fig6b",
+		"image transmission time vs CPU share per resolution level",
+		Fig6bDB, "transmit_time",
+		resource.CPU, shareAxis, resource.Vector{resource.Bandwidth: 200e3},
+		[]spec.Config{cfg(320, "bzw", 2), cfg(320, "bzw", 3), cfg(320, "bzw", 4)},
+		[]string{"level2(s)", "level3(s)", "level4(s)"},
+		"lower resolution → less data → shorter transmission at any share")
+}

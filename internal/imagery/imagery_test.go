@@ -1,0 +1,108 @@
+package imagery
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewAtSet(t *testing.T) {
+	im := New(16)
+	im.Set(3, 5, 42)
+	if im.At(3, 5) != 42 {
+		t.Fatal("At/Set")
+	}
+	if im.At(0, 0) != 0 {
+		t.Fatal("zero init")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := Generate(32, 1)
+	b := a.Clone()
+	b.Set(0, 0, -999)
+	if a.At(0, 0) == -999 {
+		t.Fatal("Clone aliases")
+	}
+}
+
+func TestClampAndBytes(t *testing.T) {
+	im := New(2)
+	im.Pix = []float64{-5, 300, 127.6, 0}
+	b := im.Bytes()
+	if b[0] != 0 || b[1] != 255 || b[2] != 128 || b[3] != 0 {
+		t.Fatalf("bytes %v", b)
+	}
+	im.Clamp()
+	if im.Pix[0] != 0 || im.Pix[1] != 255 {
+		t.Fatalf("clamp %v", im.Pix)
+	}
+}
+
+func TestMSEAndPSNR(t *testing.T) {
+	a := Generate(32, 1)
+	if _, err := MSE(a, New(16)); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+	p, err := PSNR(a, a.Clone())
+	if err != nil || !math.IsInf(p, 1) {
+		t.Fatalf("identical PSNR %v %v", p, err)
+	}
+	b := a.Clone()
+	for i := range b.Pix {
+		b.Pix[i] += 10
+	}
+	mse, _ := MSE(a, b)
+	if math.Abs(mse-100) > 1e-9 {
+		t.Fatalf("mse %v", mse)
+	}
+	p, _ = PSNR(a, b)
+	want := 10 * math.Log10(255*255/100.0)
+	if math.Abs(p-want) > 1e-9 {
+		t.Fatalf("psnr %v want %v", p, want)
+	}
+}
+
+func TestDownsampleAverages(t *testing.T) {
+	im := New(4)
+	for i := range im.Pix {
+		im.Pix[i] = float64(i)
+	}
+	d := im.Downsample(1)
+	if d.Side != 2 {
+		t.Fatalf("side %d", d.Side)
+	}
+	// Top-left 2×2 block of the original: 0,1,4,5 → mean 2.5.
+	if d.At(0, 0) != 2.5 {
+		t.Fatalf("downsample %v", d.At(0, 0))
+	}
+	if im.Downsample(0).Side != 4 {
+		t.Fatal("k=0 should be identity")
+	}
+}
+
+func TestGenerateDeterministicAndDistinct(t *testing.T) {
+	a1 := Generate(64, 7)
+	a2 := Generate(64, 7)
+	for i := range a1.Pix {
+		if a1.Pix[i] != a2.Pix[i] {
+			t.Fatal("same seed differs")
+		}
+	}
+	b := Generate(64, 8)
+	same := true
+	for i := range a1.Pix {
+		if a1.Pix[i] != b.Pix[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds identical")
+	}
+	// All pixels within valid range.
+	for _, v := range a1.Pix {
+		if v < 0 || v > 255 {
+			t.Fatalf("pixel %v out of range", v)
+		}
+	}
+}

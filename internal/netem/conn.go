@@ -1,0 +1,119 @@
+package netem
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+// ShapedConn wraps a real net.Conn with token-bucket bandwidth shaping, the
+// real-network analogue of the paper's delayed sends and receives. It is
+// used by the cmd/ tools when the visualization application runs over
+// actual TCP; the simulated experiments use Link instead.
+type ShapedConn struct {
+	net.Conn
+
+	mu     sync.Mutex
+	rate   float64 // bytes per second; 0 disables shaping
+	burst  float64 // bucket capacity in bytes
+	tokens float64
+	last   time.Time
+}
+
+// NewShapedConn wraps conn with a bandwidth limit in bytes/second. A zero
+// or negative rate disables shaping.
+func NewShapedConn(conn net.Conn, bytesPerSec float64) *ShapedConn {
+	burst := bytesPerSec / 8
+	if burst < FrameSize {
+		burst = FrameSize
+	}
+	return &ShapedConn{
+		Conn:   conn,
+		rate:   bytesPerSec,
+		burst:  burst,
+		tokens: burst,
+		last:   time.Now(),
+	}
+}
+
+// SetBandwidth changes the shaping rate; safe for concurrent use.
+func (c *ShapedConn) SetBandwidth(bytesPerSec float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.refillLocked(time.Now())
+	c.rate = bytesPerSec
+	burst := bytesPerSec / 8
+	if burst < FrameSize {
+		burst = FrameSize
+	}
+	c.burst = burst
+	if c.tokens > burst {
+		c.tokens = burst
+	}
+}
+
+// Bandwidth returns the current shaping rate.
+func (c *ShapedConn) Bandwidth() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rate
+}
+
+func (c *ShapedConn) refillLocked(now time.Time) {
+	dt := now.Sub(c.last).Seconds()
+	if dt > 0 {
+		c.tokens += dt * c.rate
+		if c.tokens > c.burst {
+			c.tokens = c.burst
+		}
+		c.last = now
+	}
+}
+
+// take blocks until n tokens are available and consumes them.
+func (c *ShapedConn) take(n int) {
+	for n > 0 {
+		c.mu.Lock()
+		if c.rate <= 0 {
+			c.mu.Unlock()
+			return
+		}
+		now := time.Now()
+		c.refillLocked(now)
+		chunk := float64(n)
+		if chunk > c.burst {
+			chunk = c.burst
+		}
+		if c.tokens >= chunk {
+			c.tokens -= chunk
+			n -= int(chunk)
+			c.mu.Unlock()
+			continue
+		}
+		deficit := chunk - c.tokens
+		wait := time.Duration(deficit / c.rate * float64(time.Second))
+		c.mu.Unlock()
+		if wait < time.Millisecond {
+			wait = time.Millisecond
+		}
+		time.Sleep(wait)
+	}
+}
+
+// Write shapes outgoing traffic to the configured rate.
+func (c *ShapedConn) Write(b []byte) (int, error) {
+	written := 0
+	for written < len(b) {
+		end := written + FrameSize
+		if end > len(b) {
+			end = len(b)
+		}
+		c.take(end - written)
+		n, err := c.Conn.Write(b[written:end])
+		written += n
+		if err != nil {
+			return written, err
+		}
+	}
+	return written, nil
+}

@@ -1,0 +1,247 @@
+// Package netem emulates network links with controllable bandwidth,
+// latency, and loss. It provides two implementations of the same behaviour:
+//
+//   - Link, a duplex simulated link running on the vtime kernel, used by
+//     the profiling testbed and the adaptation experiments. Bandwidth is
+//     enforced by serialization delay at frame granularity, so dynamic
+//     SetBandwidth calls take effect within one frame — this is how the
+//     experiments in Section 7 drop the client's bandwidth mid-run.
+//
+//   - ShapedConn, a token-bucket wrapper for real net.Conn connections,
+//     used by the cmd/ tools when the application runs over actual TCP
+//     (the paper delays sends/receives to enforce the bandwidth an
+//     application sees; the token bucket produces the same average rate).
+package netem
+
+import (
+	"fmt"
+	"time"
+
+	"tunable/internal/vtime"
+)
+
+// FrameSize is the serialization granularity of simulated links. Bandwidth
+// changes apply from the next frame boundary.
+const FrameSize = 4096
+
+// Message is a unit of delivery on a simulated link.
+type Message struct {
+	Payload []byte
+	SentAt  time.Duration // virtual time the last frame left the sender
+}
+
+// Counters accumulates per-direction traffic statistics; the monitoring
+// agent derives observed bandwidth from them.
+type Counters struct {
+	BytesSent     int64
+	MsgsSent      int64
+	BytesDropped  int64
+	MsgsDropped   int64
+	SendBusy      time.Duration // cumulative time senders spent serializing/queueing
+	BytesReceived int64
+	MsgsReceived  int64
+	RecvWait      time.Duration // cumulative time receivers spent blocked
+}
+
+// direction is one half of a duplex link.
+type direction struct {
+	sim       *vtime.Sim
+	name      string
+	bandwidth float64 // bytes per second
+	latency   time.Duration
+	lossRate  float64
+	rng       *splitmix
+	busyUntil time.Duration
+	inbox     *vtime.Chan[Message]
+	ctr       Counters
+}
+
+// Link is a duplex point-to-point link between two endpoints, A and B.
+type Link struct {
+	name string
+	ab   *direction // A→B
+	ba   *direction // B→A
+}
+
+// LinkOption customizes link construction.
+type LinkOption func(*Link)
+
+// WithLatency sets one-way latency for both directions (default 500 µs,
+// a switched-LAN figure comparable to the paper's 100 Mbps Ethernet).
+func WithLatency(d time.Duration) LinkOption {
+	return func(l *Link) { l.ab.latency, l.ba.latency = d, d }
+}
+
+// WithLoss sets a message loss probability for both directions (default 0).
+func WithLoss(p float64) LinkOption {
+	return func(l *Link) { l.ab.lossRate, l.ba.lossRate = p, p }
+}
+
+// NewLink creates a duplex link with the given bandwidth in bytes/second
+// applied to each direction independently.
+func NewLink(sim *vtime.Sim, name string, bandwidth float64, opts ...LinkOption) *Link {
+	mk := func(dir string) *direction {
+		return &direction{
+			sim:       sim,
+			name:      name + "/" + dir,
+			bandwidth: bandwidth,
+			latency:   500 * time.Microsecond,
+			rng:       newSplitmix(hash64(name + dir)),
+			inbox:     vtime.NewNamedChan[Message](sim, 1<<20, name+"/"+dir),
+		}
+	}
+	l := &Link{name: name, ab: mk("ab"), ba: mk("ba")}
+	for _, o := range opts {
+		o(l)
+	}
+	return l
+}
+
+// Name returns the link name.
+func (l *Link) Name() string { return l.name }
+
+// A returns the endpoint on the A side (sends A→B, receives B→A).
+func (l *Link) A() *Endpoint { return &Endpoint{out: l.ab, in: l.ba, link: l} }
+
+// B returns the endpoint on the B side.
+func (l *Link) B() *Endpoint { return &Endpoint{out: l.ba, in: l.ab, link: l} }
+
+// SetBandwidth reconfigures both directions; it takes effect at the next
+// frame boundary.
+func (l *Link) SetBandwidth(bps float64) error {
+	if bps <= 0 {
+		return fmt.Errorf("netem: invalid bandwidth %g", bps)
+	}
+	l.ab.bandwidth = bps
+	l.ba.bandwidth = bps
+	return nil
+}
+
+// Bandwidth returns the current A→B bandwidth in bytes/second.
+func (l *Link) Bandwidth() float64 { return l.ab.bandwidth }
+
+// SetLatency reconfigures one-way latency for both directions.
+func (l *Link) SetLatency(d time.Duration) {
+	l.ab.latency = d
+	l.ba.latency = d
+}
+
+// Endpoint is one side of a duplex link.
+type Endpoint struct {
+	link *Link
+	out  *direction
+	in   *direction
+}
+
+// Link returns the underlying link.
+func (e *Endpoint) Link() *Link { return e.link }
+
+// Send transmits payload, blocking the calling process for the
+// serialization time (len/bandwidth) plus any queueing behind earlier
+// messages in the same direction; delivery into the peer's inbox happens
+// one latency later. Lost messages still consume serialization time (the
+// bits were sent) but never arrive.
+func (e *Endpoint) Send(p *vtime.Proc, payload []byte) {
+	d := e.out
+	start := p.Now()
+	remaining := len(payload)
+	for remaining > 0 {
+		frame := remaining
+		if frame > FrameSize {
+			frame = FrameSize
+		}
+		bw := d.bandwidth
+		ser := time.Duration(float64(frame) / bw * float64(time.Second))
+		if d.busyUntil < p.Now() {
+			d.busyUntil = p.Now()
+		}
+		d.busyUntil += ser
+		p.SleepUntil(d.busyUntil)
+		remaining -= frame
+	}
+	d.ctr.SendBusy += p.Now() - start
+	d.ctr.BytesSent += int64(len(payload))
+	d.ctr.MsgsSent++
+	if d.lossRate > 0 && d.rng.float64() < d.lossRate {
+		d.ctr.BytesDropped += int64(len(payload))
+		d.ctr.MsgsDropped++
+		return
+	}
+	msg := Message{Payload: payload, SentAt: p.Now()}
+	deliver := func() {
+		// Frames still in flight when the connection closes are dropped,
+		// as on a real network.
+		if d.inbox.Closed() {
+			d.ctr.BytesDropped += int64(len(msg.Payload))
+			d.ctr.MsgsDropped++
+			return
+		}
+		if !d.inbox.TrySend(msg) {
+			panic("netem: inbox overflow on " + d.name)
+		}
+	}
+	lat := d.latency
+	if lat <= 0 {
+		deliver()
+		return
+	}
+	d.sim.After(lat, deliver)
+}
+
+// Recv blocks until a message arrives and returns its payload.
+func (e *Endpoint) Recv(p *vtime.Proc) ([]byte, bool) {
+	start := p.Now()
+	msg, ok := e.in.inbox.Recv(p)
+	e.in.ctr.RecvWait += p.Now() - start
+	if ok {
+		e.in.ctr.BytesReceived += int64(len(msg.Payload))
+		e.in.ctr.MsgsReceived++
+	}
+	return msg.Payload, ok
+}
+
+// RecvTimeout is Recv with a deadline; ready=false on timeout.
+func (e *Endpoint) RecvTimeout(p *vtime.Proc, d time.Duration) (payload []byte, ok, ready bool) {
+	start := p.Now()
+	msg, ok, ready := e.in.inbox.RecvTimeout(p, d)
+	e.in.ctr.RecvWait += p.Now() - start
+	if ready && ok {
+		e.in.ctr.BytesReceived += int64(len(msg.Payload))
+		e.in.ctr.MsgsReceived++
+	}
+	return msg.Payload, ok, ready
+}
+
+// Close closes the incoming direction's inbox, waking blocked receivers on
+// the *peer* side of subsequent Recv calls with ok=false.
+func (e *Endpoint) Close() { e.out.inbox.Close() }
+
+// OutCounters returns a snapshot of the outgoing direction's counters.
+func (e *Endpoint) OutCounters() Counters { return e.out.ctr }
+
+// InCounters returns a snapshot of the incoming direction's counters.
+func (e *Endpoint) InCounters() Counters { return e.in.ctr }
+
+// splitmix is a deterministic PRNG for loss decisions.
+type splitmix struct{ state uint64 }
+
+func newSplitmix(seed uint64) *splitmix { return &splitmix{state: seed} }
+
+func (r *splitmix) next() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+func (r *splitmix) float64() float64 { return float64(r.next()>>11) / float64(1<<53) }
+
+func hash64(s string) uint64 {
+	var h uint64 = 1469598103934665603
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

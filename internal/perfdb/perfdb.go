@@ -1,0 +1,304 @@
+// Package perfdb implements the paper's performance database (Section 5.2):
+// a profile-based model of application behaviour mapping (configuration,
+// resource conditions) → quality metrics. Records are produced by the
+// profiling driver sweeping each configuration through the virtual testbed;
+// at run time the resource scheduler queries the database — with
+// multilinear interpolation between sample points, or discrete best-match
+// lookup as the paper's early implementation did (Section 7.1) — to predict
+// how each candidate configuration would perform under observed resource
+// conditions.
+package perfdb
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"tunable/internal/resource"
+	"tunable/internal/spec"
+)
+
+// Record is one profiled sample: the quality metrics a configuration
+// achieved under specific resource conditions in the testbed.
+type Record struct {
+	Config    spec.Config
+	Resources resource.Vector
+	Metrics   spec.Metrics
+	Samples   int // number of runs averaged into Metrics
+}
+
+// PredictMode selects the lookup strategy.
+type PredictMode int
+
+const (
+	// Interpolate performs multilinear interpolation between lattice
+	// points, falling back to nearest-neighbour where the lattice is
+	// incomplete (the paper's general mechanism, Section 5).
+	Interpolate PredictMode = iota
+	// NearestOnly reproduces the paper's implemented scheduler, which
+	// "does not do any interpolation on the performance profiles; a new
+	// configuration is selected by examining discrete points ... that
+	// provide the best match" (Section 7.1).
+	NearestOnly
+)
+
+// DB is an in-memory performance database for one application.
+type DB struct {
+	app      *spec.App
+	profiles map[string]*configProfile
+	mode     PredictMode
+}
+
+// configProfile holds all samples for one configuration.
+type configProfile struct {
+	config  spec.Config
+	records map[string]*Record // keyed by resource vector Key
+	dims    map[resource.Kind]bool
+}
+
+// New creates an empty database for app.
+func New(app *spec.App) *DB {
+	return &DB{app: app, profiles: make(map[string]*configProfile)}
+}
+
+// App returns the application specification the database models.
+func (db *DB) App() *spec.App { return db.app }
+
+// SetMode selects the prediction strategy (default Interpolate).
+func (db *DB) SetMode(m PredictMode) { db.mode = m }
+
+// Mode returns the current prediction strategy.
+func (db *DB) Mode() PredictMode { return db.mode }
+
+// Add inserts a sample. Repeated samples at the same (config, resources)
+// point are averaged, mirroring the driver's repeated executions.
+func (db *DB) Add(cfg spec.Config, res resource.Vector, m spec.Metrics) error {
+	if err := db.app.ValidateConfig(cfg); err != nil {
+		return err
+	}
+	for name := range m {
+		if db.app.Metric(name) == nil {
+			return fmt.Errorf("perfdb: unknown metric %q", name)
+		}
+	}
+	key := cfg.Key()
+	p, ok := db.profiles[key]
+	if !ok {
+		p = &configProfile{
+			config:  cfg.Clone(),
+			records: make(map[string]*Record),
+			dims:    make(map[resource.Kind]bool),
+		}
+		db.profiles[key] = p
+	}
+	for k := range res {
+		p.dims[k] = true
+	}
+	rk := res.Key()
+	if rec, dup := p.records[rk]; dup {
+		// Incremental mean of each metric.
+		n := float64(rec.Samples)
+		for name, v := range m {
+			rec.Metrics[name] = (rec.Metrics[name]*n + v) / (n + 1)
+		}
+		rec.Samples++
+		return nil
+	}
+	p.records[rk] = &Record{
+		Config:    cfg.Clone(),
+		Resources: res.Clone(),
+		Metrics:   m.Clone(),
+		Samples:   1,
+	}
+	return nil
+}
+
+// Configs returns the configurations with at least one record, sorted by
+// canonical key.
+func (db *DB) Configs() []spec.Config {
+	keys := make([]string, 0, len(db.profiles))
+	for k := range db.profiles {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]spec.Config, len(keys))
+	for i, k := range keys {
+		out[i] = db.profiles[k].config
+	}
+	return out
+}
+
+// Records returns all records for a configuration in deterministic order.
+func (db *DB) Records(cfg spec.Config) []*Record {
+	p, ok := db.profiles[cfg.Key()]
+	if !ok {
+		return nil
+	}
+	keys := make([]string, 0, len(p.records))
+	for k := range p.records {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]*Record, len(keys))
+	for i, k := range keys {
+		out[i] = p.records[k]
+	}
+	return out
+}
+
+// Len returns the total number of records.
+func (db *DB) Len() int {
+	n := 0
+	for _, p := range db.profiles {
+		n += len(p.records)
+	}
+	return n
+}
+
+// Lookup returns the exact record at (cfg, res) if one exists.
+func (db *DB) Lookup(cfg spec.Config, res resource.Vector) (*Record, bool) {
+	p, ok := db.profiles[cfg.Key()]
+	if !ok {
+		return nil, false
+	}
+	rec, ok := p.records[res.Key()]
+	return rec, ok
+}
+
+// grid reconstructs the sample lattice for a configuration: the sorted
+// unique values observed along each resource dimension.
+func (p *configProfile) grid() *resource.Grid {
+	kinds := make([]resource.Kind, 0, len(p.dims))
+	for k := range p.dims {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	axes := make([]resource.Axis, 0, len(kinds))
+	for _, k := range kinds {
+		var pts []float64
+		for _, rec := range p.records {
+			if v, ok := rec.Resources[k]; ok {
+				pts = append(pts, v)
+			}
+		}
+		axes = append(axes, resource.Axis{Kind: k, Points: pts})
+	}
+	return resource.NewGrid(axes...)
+}
+
+// scale returns a normalization vector (axis spans) for distance
+// computations.
+func (p *configProfile) scale() resource.Vector {
+	g := p.grid()
+	s := resource.Vector{}
+	for _, ax := range g.Axes {
+		if len(ax.Points) == 0 {
+			continue
+		}
+		span := ax.Points[len(ax.Points)-1] - ax.Points[0]
+		if span <= 0 {
+			span = math.Abs(ax.Points[0])
+			if span == 0 {
+				span = 1
+			}
+		}
+		s[ax.Kind] = span
+	}
+	return s
+}
+
+// Nearest returns the record whose resource point is closest to res.
+func (db *DB) Nearest(cfg spec.Config, res resource.Vector) (*Record, bool) {
+	p, ok := db.profiles[cfg.Key()]
+	if !ok || len(p.records) == 0 {
+		return nil, false
+	}
+	scale := p.scale()
+	var best *Record
+	bestD := math.Inf(1)
+	for _, rec := range db.Records(cfg) {
+		d := rec.Resources.Distance(res, scale)
+		if d < bestD {
+			bestD = d
+			best = rec
+		}
+	}
+	return best, best != nil
+}
+
+// Predict estimates the metrics cfg would achieve under resource
+// conditions res. In Interpolate mode it performs multilinear
+// interpolation over the sample lattice (clamping to the lattice boundary,
+// which extrapolates by nearest edge); where lattice corners are missing,
+// or in NearestOnly mode, it falls back to the nearest sampled point.
+func (db *DB) Predict(cfg spec.Config, res resource.Vector) (spec.Metrics, error) {
+	p, ok := db.profiles[cfg.Key()]
+	if !ok || len(p.records) == 0 {
+		return nil, fmt.Errorf("perfdb: no profile for configuration %s", cfg.Key())
+	}
+	if db.mode == NearestOnly {
+		rec, _ := db.Nearest(cfg, res)
+		return rec.Metrics.Clone(), nil
+	}
+	m, err := db.interpolate(p, res)
+	if err != nil {
+		rec, _ := db.Nearest(cfg, res)
+		return rec.Metrics.Clone(), nil
+	}
+	return m, nil
+}
+
+// interpolate performs multilinear interpolation at res over the profile's
+// lattice. It fails if any required lattice corner has no record.
+func (db *DB) interpolate(p *configProfile, res resource.Vector) (spec.Metrics, error) {
+	g := p.grid()
+	if len(g.Axes) == 0 {
+		return nil, fmt.Errorf("perfdb: profile has no resource dimensions")
+	}
+	lo, hi, err := g.Neighbors(res)
+	if err != nil {
+		return nil, err
+	}
+	// Determine the varying dimensions and interpolation weights.
+	type dim struct {
+		kind resource.Kind
+		lo   float64
+		hi   float64
+		w    float64 // weight of the hi end
+	}
+	var dims []dim
+	base := resource.Vector{}
+	for _, ax := range g.Axes {
+		l, h := lo[ax.Kind], hi[ax.Kind]
+		if l == h {
+			base[ax.Kind] = l
+			continue
+		}
+		w := (res[ax.Kind] - l) / (h - l)
+		dims = append(dims, dim{kind: ax.Kind, lo: l, hi: h, w: w})
+	}
+	// Accumulate the 2^d corner records.
+	out := spec.Metrics{}
+	var walk func(i int, pt resource.Vector, weight float64) error
+	walk = func(i int, pt resource.Vector, weight float64) error {
+		if i == len(dims) {
+			rec, ok := p.records[pt.Key()]
+			if !ok {
+				return fmt.Errorf("perfdb: lattice corner %s missing", pt.Key())
+			}
+			for name, v := range rec.Metrics {
+				out[name] += weight * v
+			}
+			return nil
+		}
+		d := dims[i]
+		if err := walk(i+1, pt.With(d.kind, d.lo), weight*(1-d.w)); err != nil {
+			return err
+		}
+		return walk(i+1, pt.With(d.kind, d.hi), weight*d.w)
+	}
+	if err := walk(0, base, 1.0); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

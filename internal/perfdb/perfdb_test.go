@@ -1,0 +1,294 @@
+package perfdb
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"tunable/internal/resource"
+	"tunable/internal/spec"
+)
+
+// testApp declares one int parameter and two metrics with opposite
+// preference directions.
+func testApp() *spec.App {
+	return spec.MustParse(`
+app test;
+control_parameters {
+    int n in {1, 2, 3};
+}
+qos_metric {
+    duration t minimize;
+    scalar q maximize;
+}
+`)
+}
+
+func cfgN(n int) spec.Config { return spec.Config{"n": spec.Int(n)} }
+
+func res(cpu float64) resource.Vector { return resource.Vector{resource.CPU: cpu} }
+
+func TestAddAndLookup(t *testing.T) {
+	db := New(testApp())
+	if err := db.Add(cfgN(1), res(0.5), spec.Metrics{"t": 2.0, "q": 3.0}); err != nil {
+		t.Fatal(err)
+	}
+	rec, ok := db.Lookup(cfgN(1), res(0.5))
+	if !ok || rec.Metrics["t"] != 2.0 {
+		t.Fatalf("lookup %+v %v", rec, ok)
+	}
+	if _, ok := db.Lookup(cfgN(1), res(0.6)); ok {
+		t.Fatal("phantom record")
+	}
+	if _, ok := db.Lookup(cfgN(2), res(0.5)); ok {
+		t.Fatal("phantom config")
+	}
+	if db.Len() != 1 {
+		t.Fatalf("len %d", db.Len())
+	}
+}
+
+func TestAddValidates(t *testing.T) {
+	db := New(testApp())
+	if err := db.Add(spec.Config{"n": spec.Int(99)}, res(0.5), spec.Metrics{"t": 1}); err == nil {
+		t.Fatal("out-of-domain config accepted")
+	}
+	if err := db.Add(cfgN(1), res(0.5), spec.Metrics{"bogus": 1}); err == nil {
+		t.Fatal("unknown metric accepted")
+	}
+}
+
+func TestRepeatedSamplesAveraged(t *testing.T) {
+	db := New(testApp())
+	db.Add(cfgN(1), res(0.5), spec.Metrics{"t": 2.0})
+	db.Add(cfgN(1), res(0.5), spec.Metrics{"t": 4.0})
+	db.Add(cfgN(1), res(0.5), spec.Metrics{"t": 6.0})
+	rec, _ := db.Lookup(cfgN(1), res(0.5))
+	if math.Abs(rec.Metrics["t"]-4.0) > 1e-12 {
+		t.Fatalf("averaged %v", rec.Metrics["t"])
+	}
+	if rec.Samples != 3 {
+		t.Fatalf("samples %d", rec.Samples)
+	}
+}
+
+func TestInterpolation1D(t *testing.T) {
+	db := New(testApp())
+	// t decreases linearly with CPU share: t = 10 - 8·cpu.
+	for _, cpu := range []float64{0.2, 0.4, 0.6, 0.8} {
+		db.Add(cfgN(1), res(cpu), spec.Metrics{"t": 10 - 8*cpu})
+	}
+	m, err := db.Predict(cfgN(1), res(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m["t"]-6.0) > 1e-9 {
+		t.Fatalf("interpolated t=%v, want 6", m["t"])
+	}
+	// Exactly on a lattice point.
+	m, _ = db.Predict(cfgN(1), res(0.4))
+	if math.Abs(m["t"]-6.8) > 1e-9 {
+		t.Fatalf("lattice t=%v, want 6.8", m["t"])
+	}
+	// Outside the lattice: clamped (nearest-edge extrapolation).
+	m, _ = db.Predict(cfgN(1), res(0.05))
+	if math.Abs(m["t"]-8.4) > 1e-9 {
+		t.Fatalf("clamped t=%v, want 8.4", m["t"])
+	}
+}
+
+func TestInterpolation2D(t *testing.T) {
+	db := New(testApp())
+	// t = cpu + 10·bw on a 2×2 lattice.
+	for _, cpu := range []float64{0, 1} {
+		for _, bw := range []float64{0, 1} {
+			v := resource.Vector{resource.CPU: cpu, resource.Bandwidth: bw}
+			db.Add(cfgN(1), v, spec.Metrics{"t": cpu + 10*bw})
+		}
+	}
+	q := resource.Vector{resource.CPU: 0.25, resource.Bandwidth: 0.5}
+	m, err := db.Predict(cfgN(1), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m["t"]-5.25) > 1e-9 {
+		t.Fatalf("bilinear t=%v, want 5.25", m["t"])
+	}
+}
+
+func TestIncompleteLatticeFallsBackToNearest(t *testing.T) {
+	db := New(testApp())
+	db.Add(cfgN(1), resource.Vector{resource.CPU: 0, resource.Bandwidth: 0}, spec.Metrics{"t": 1})
+	db.Add(cfgN(1), resource.Vector{resource.CPU: 1, resource.Bandwidth: 1}, spec.Metrics{"t": 9})
+	// The (0,1) and (1,0) corners are missing; Predict must still answer.
+	q := resource.Vector{resource.CPU: 0.1, resource.Bandwidth: 0.1}
+	m, err := db.Predict(cfgN(1), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m["t"] != 1 {
+		t.Fatalf("fallback t=%v, want nearest (1)", m["t"])
+	}
+}
+
+func TestNearestOnlyMode(t *testing.T) {
+	db := New(testApp())
+	db.Add(cfgN(1), res(0.2), spec.Metrics{"t": 2})
+	db.Add(cfgN(1), res(0.8), spec.Metrics{"t": 8})
+	db.SetMode(NearestOnly)
+	m, err := db.Predict(cfgN(1), res(0.45))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m["t"] != 2 {
+		t.Fatalf("nearest t=%v, want 2", m["t"])
+	}
+	db.SetMode(Interpolate)
+	m, _ = db.Predict(cfgN(1), res(0.45))
+	if math.Abs(m["t"]-4.5) > 1e-9 {
+		t.Fatalf("interpolated t=%v, want 4.5", m["t"])
+	}
+}
+
+func TestPredictUnknownConfig(t *testing.T) {
+	db := New(testApp())
+	if _, err := db.Predict(cfgN(1), res(0.5)); err == nil {
+		t.Fatal("predict on empty profile succeeded")
+	}
+}
+
+func TestPruneRemovesDominated(t *testing.T) {
+	db := New(testApp())
+	for _, cpu := range []float64{0.2, 0.8} {
+		// n=1 strictly better on both metrics everywhere.
+		db.Add(cfgN(1), res(cpu), spec.Metrics{"t": 1, "q": 10})
+		db.Add(cfgN(2), res(cpu), spec.Metrics{"t": 5, "q": 2})
+		// n=3 wins on q, loses on t → not dominated.
+		db.Add(cfgN(3), res(cpu), spec.Metrics{"t": 9, "q": 50})
+	}
+	removed := db.Prune()
+	if len(removed) != 1 || removed[0] != "n=2" {
+		t.Fatalf("removed %v", removed)
+	}
+	if len(db.Configs()) != 2 {
+		t.Fatalf("configs left %d", len(db.Configs()))
+	}
+}
+
+func TestDominatedRespectsDirections(t *testing.T) {
+	db := New(testApp())
+	db.Add(cfgN(1), res(0.5), spec.Metrics{"t": 1, "q": 10})
+	db.Add(cfgN(2), res(0.5), spec.Metrics{"t": 1, "q": 5})
+	if !db.Dominated(cfgN(2), cfgN(1)) {
+		t.Fatal("higher q should dominate")
+	}
+	if db.Dominated(cfgN(1), cfgN(2)) {
+		t.Fatal("domination inverted")
+	}
+	// Identical profiles: neither dominates (no strict improvement).
+	db2 := New(testApp())
+	db2.Add(cfgN(1), res(0.5), spec.Metrics{"t": 1})
+	db2.Add(cfgN(2), res(0.5), spec.Metrics{"t": 1})
+	if db2.Dominated(cfgN(1), cfgN(2)) || db2.Dominated(cfgN(2), cfgN(1)) {
+		t.Fatal("equal profiles should not dominate")
+	}
+}
+
+func TestMergeSimilar(t *testing.T) {
+	db := New(testApp())
+	db.Add(cfgN(1), res(0.5), spec.Metrics{"t": 1.00})
+	db.Add(cfgN(2), res(0.5), spec.Metrics{"t": 1.01}) // within 2%
+	db.Add(cfgN(3), res(0.5), spec.Metrics{"t": 2.00}) // far
+	removed := db.MergeSimilar(0.02)
+	if len(removed) != 1 || removed[0] != "n=2" {
+		t.Fatalf("removed %v", removed)
+	}
+	if len(db.Configs()) != 2 {
+		t.Fatalf("%d configs left", len(db.Configs()))
+	}
+}
+
+func TestSensitivityAnalysis(t *testing.T) {
+	db := New(testApp())
+	// Steep change between 0.4 and 0.6, flat elsewhere.
+	db.Add(cfgN(1), res(0.2), spec.Metrics{"t": 10})
+	db.Add(cfgN(1), res(0.4), spec.Metrics{"t": 10})
+	db.Add(cfgN(1), res(0.6), spec.Metrics{"t": 2})
+	db.Add(cfgN(1), res(0.8), spec.Metrics{"t": 2})
+	sugg := db.SensitivityAnalysis(0.3)
+	if len(sugg) != 1 {
+		t.Fatalf("suggestions %+v", sugg)
+	}
+	s := sugg[0]
+	if s.Kind != resource.CPU || math.Abs(s.At[resource.CPU]-0.5) > 1e-12 {
+		t.Fatalf("suggestion %+v", s)
+	}
+	if s.RelDelta < 0.7 {
+		t.Fatalf("rel delta %v", s.RelDelta)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	db := New(testApp())
+	db.Add(cfgN(1), res(0.2), spec.Metrics{"t": 2, "q": 1})
+	db.Add(cfgN(1), res(0.8), spec.Metrics{"t": 8, "q": 2})
+	db.Add(cfgN(2), res(0.2), spec.Metrics{"t": 3, "q": 4})
+	db.Add(cfgN(2), res(0.2), spec.Metrics{"t": 5, "q": 6}) // averaged, samples=2
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	db2 := New(testApp())
+	if err := db2.Load(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if db2.Len() != db.Len() {
+		t.Fatalf("len %d vs %d", db2.Len(), db.Len())
+	}
+	rec, ok := db2.Lookup(cfgN(2), res(0.2))
+	if !ok || math.Abs(rec.Metrics["t"]-4) > 1e-12 || rec.Samples != 2 {
+		t.Fatalf("record %+v", rec)
+	}
+	// Save must be deterministic.
+	var buf2 bytes.Buffer
+	db.Save(&buf2)
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("Save output not deterministic")
+	}
+}
+
+func TestLoadRejectsWrongApp(t *testing.T) {
+	db := New(testApp())
+	db.Add(cfgN(1), res(0.2), spec.Metrics{"t": 2})
+	var buf bytes.Buffer
+	db.Save(&buf)
+	other := spec.MustParse("app other;\ncontrol_parameters { int n in {1}; }\nqos_metric { duration t minimize; }")
+	db2 := New(other)
+	if err := db2.Load(&buf); err == nil {
+		t.Fatal("cross-application load accepted")
+	}
+}
+
+func TestConfigsSorted(t *testing.T) {
+	db := New(testApp())
+	db.Add(cfgN(3), res(0.5), spec.Metrics{"t": 1})
+	db.Add(cfgN(1), res(0.5), spec.Metrics{"t": 1})
+	db.Add(cfgN(2), res(0.5), spec.Metrics{"t": 1})
+	cfgs := db.Configs()
+	if cfgs[0].Key() != "n=1" || cfgs[2].Key() != "n=3" {
+		t.Fatalf("order %v %v %v", cfgs[0].Key(), cfgs[1].Key(), cfgs[2].Key())
+	}
+}
+
+func TestNearest(t *testing.T) {
+	db := New(testApp())
+	db.Add(cfgN(1), res(0.2), spec.Metrics{"t": 2})
+	db.Add(cfgN(1), res(0.9), spec.Metrics{"t": 9})
+	rec, ok := db.Nearest(cfgN(1), res(0.3))
+	if !ok || rec.Metrics["t"] != 2 {
+		t.Fatalf("nearest %+v", rec)
+	}
+	if _, ok := db.Nearest(cfgN(3), res(0.3)); ok {
+		t.Fatal("nearest on empty profile")
+	}
+}

@@ -1,0 +1,83 @@
+package perfdb
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"tunable/internal/resource"
+)
+
+// fileFormat is the on-disk JSON representation.
+type fileFormat struct {
+	App     string       `json:"app"`
+	Records []fileRecord `json:"records"`
+}
+
+type fileRecord struct {
+	Config    string             `json:"config"` // canonical config key
+	Resources map[string]float64 `json:"resources"`
+	Metrics   map[string]float64 `json:"metrics"`
+	Samples   int                `json:"samples"`
+}
+
+// Save writes the database as JSON. Output is deterministic: records are
+// sorted by (config key, resource key).
+func (db *DB) Save(w io.Writer) error {
+	ff := fileFormat{App: db.app.Name}
+	for _, cfg := range db.Configs() {
+		for _, rec := range db.Records(cfg) {
+			fr := fileRecord{
+				Config:    rec.Config.Key(),
+				Resources: map[string]float64{},
+				Metrics:   map[string]float64(rec.Metrics),
+				Samples:   rec.Samples,
+			}
+			for k, v := range rec.Resources {
+				fr.Resources[string(k)] = v
+			}
+			ff.Records = append(ff.Records, fr)
+		}
+	}
+	sort.Slice(ff.Records, func(i, j int) bool {
+		if ff.Records[i].Config != ff.Records[j].Config {
+			return ff.Records[i].Config < ff.Records[j].Config
+		}
+		return fmt.Sprint(ff.Records[i].Resources) < fmt.Sprint(ff.Records[j].Resources)
+	})
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(ff)
+}
+
+// Load reads a database previously written by Save. The receiver's
+// application specification resolves configuration keys; a mismatched
+// application name is an error.
+func (db *DB) Load(r io.Reader) error {
+	var ff fileFormat
+	if err := json.NewDecoder(r).Decode(&ff); err != nil {
+		return fmt.Errorf("perfdb: decode: %w", err)
+	}
+	if ff.App != db.app.Name {
+		return fmt.Errorf("perfdb: file is for application %q, database for %q", ff.App, db.app.Name)
+	}
+	for _, fr := range ff.Records {
+		cfg, err := db.app.ParseConfigKey(fr.Config)
+		if err != nil {
+			return err
+		}
+		res := resource.Vector{}
+		for k, v := range fr.Resources {
+			res[resource.Kind(k)] = v
+		}
+		if err := db.Add(cfg, res, fr.Metrics); err != nil {
+			return err
+		}
+		// Preserve the sample count from the file.
+		if rec, ok := db.Lookup(cfg, res); ok && fr.Samples > 1 {
+			rec.Samples = fr.Samples
+		}
+	}
+	return nil
+}

@@ -1,0 +1,137 @@
+package scheduler
+
+import (
+	"fmt"
+	"sort"
+
+	"tunable/internal/resource"
+	"tunable/internal/sandbox"
+)
+
+// Admission implements the reservation half of Section 6.2: "the first
+// [issue] can be solved by admission control and reservation ... we can
+// reserve a specific CPU share (as well as ... amount of physical memory)
+// with simple admission control. Once admitted, the resource-constrained
+// execution environment monitors and controls application progress."
+//
+// An Admission manager owns a set of hosts; Reserve atomically creates one
+// sandbox per requested component (all-or-nothing: a partial failure rolls
+// back the sandboxes already created), and the returned Reservation hands
+// the application its policing sandboxes and releases them on teardown.
+type Admission struct {
+	hosts map[string]*sandbox.Host
+}
+
+// NewAdmission creates an empty manager.
+func NewAdmission() *Admission {
+	return &Admission{hosts: make(map[string]*sandbox.Host)}
+}
+
+// AddHost registers a host under its name.
+func (a *Admission) AddHost(h *sandbox.Host) error {
+	if _, dup := a.hosts[h.Name()]; dup {
+		return fmt.Errorf("scheduler: duplicate host %q", h.Name())
+	}
+	a.hosts[h.Name()] = h
+	return nil
+}
+
+// Host returns a registered host.
+func (a *Admission) Host(name string) (*sandbox.Host, bool) {
+	h, ok := a.hosts[name]
+	return h, ok
+}
+
+// Hosts lists registered host names in sorted order.
+func (a *Admission) Hosts() []string {
+	out := make([]string, 0, len(a.hosts))
+	for n := range a.hosts {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Reservation is an admitted set of sandboxes, one per component.
+type Reservation struct {
+	name     string
+	admitted []*sandbox.Sandbox
+	byComp   map[string]*sandbox.Sandbox
+	released bool
+}
+
+// Sandbox returns the policing sandbox for a component.
+func (r *Reservation) Sandbox(component string) (*sandbox.Sandbox, bool) {
+	sb, ok := r.byComp[component]
+	return sb, ok
+}
+
+// Components lists reserved components in sorted order.
+func (r *Reservation) Components() []string {
+	out := make([]string, 0, len(r.byComp))
+	for c := range r.byComp {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Release frees every sandbox in the reservation. Safe to call twice.
+func (r *Reservation) Release() {
+	if r.released {
+		return
+	}
+	r.released = true
+	for _, sb := range r.admitted {
+		sb.Host().Release(sb)
+	}
+}
+
+// Reserve admits an application named name onto the managed hosts:
+// requests maps component (host) names to the resources wanted there
+// (resource.CPU as a share, resource.Memory as bytes). Either every
+// component is admitted, or none is and the error names the component
+// that failed.
+func (a *Admission) Reserve(name string, requests map[string]resource.Vector) (*Reservation, error) {
+	// Deterministic order for reproducible failure attribution.
+	comps := make([]string, 0, len(requests))
+	for c := range requests {
+		comps = append(comps, c)
+	}
+	sort.Strings(comps)
+	r := &Reservation{name: name, byComp: make(map[string]*sandbox.Sandbox)}
+	for _, comp := range comps {
+		want := requests[comp]
+		host, ok := a.hosts[comp]
+		if !ok {
+			r.Release()
+			return nil, fmt.Errorf("scheduler: no host %q registered", comp)
+		}
+		share := want.Get(resource.CPU, 0)
+		if share <= 0 {
+			r.Release()
+			return nil, fmt.Errorf("scheduler: component %q requests no CPU", comp)
+		}
+		mem := int64(want.Get(resource.Memory, 0))
+		sb, err := host.NewSandbox(name+"@"+comp, share, mem)
+		if err != nil {
+			r.Release()
+			return nil, fmt.Errorf("scheduler: admission failed for %q: %w", comp, err)
+		}
+		r.admitted = append(r.admitted, sb)
+		r.byComp[comp] = sb
+	}
+	return r, nil
+}
+
+// Available reports the unreserved CPU share and memory on a host.
+func (a *Admission) Available(host string) (resource.Vector, error) {
+	h, ok := a.hosts[host]
+	if !ok {
+		return nil, fmt.Errorf("scheduler: no host %q registered", host)
+	}
+	return resource.Vector{
+		resource.CPU:    sandbox.MaxReservable - h.Reserved(),
+		resource.Memory: float64(h.MemTotal() - h.MemReserved()),
+	}, nil
+}

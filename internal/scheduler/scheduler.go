@@ -1,0 +1,252 @@
+// Package scheduler implements the paper's resource scheduler
+// (Section 6.2): given the performance database, measured resource
+// characteristics, and an ordered list of user preference constraints, it
+// prunes the candidate configurations down to those predicted to satisfy
+// the constraints and picks the one that best satisfies the objective
+// function. Preferences are examined in decreasing order; when one cannot
+// be satisfied under current resources, the next is tried. The scheduler
+// also derives, for the chosen configuration, the resource validity ranges
+// the monitoring agent should watch.
+package scheduler
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"tunable/internal/perfdb"
+	"tunable/internal/resource"
+	"tunable/internal/spec"
+)
+
+// ErrNoFeasible is returned when no configuration satisfies any preference
+// under the given resource conditions.
+var ErrNoFeasible = errors.New("scheduler: no feasible configuration for any preference")
+
+// Constraint bounds one quality metric to a value range (the paper's
+// "value ranges on a subset of output quality metrics"). Use ±Inf for
+// one-sided bounds.
+type Constraint struct {
+	Metric string
+	Lo, Hi float64
+}
+
+// Satisfied reports whether v lies within the constraint.
+func (c Constraint) Satisfied(v float64) bool { return v >= c.Lo && v <= c.Hi }
+
+// AtMost bounds a metric from above.
+func AtMost(metric string, hi float64) Constraint {
+	return Constraint{Metric: metric, Lo: math.Inf(-1), Hi: hi}
+}
+
+// AtLeast bounds a metric from below.
+func AtLeast(metric string, lo float64) Constraint {
+	return Constraint{Metric: metric, Lo: lo, Hi: math.Inf(1)}
+}
+
+// Preference is one user preference: constraints plus a single-metric
+// objective (the paper assumes "a relatively restricted form of this
+// function: maximizing or minimizing a single quality metric"; the
+// direction comes from the metric's declaration).
+type Preference struct {
+	Name        string
+	Constraints []Constraint
+	Objective   string // metric to optimize
+}
+
+// Decision is the scheduler's output.
+type Decision struct {
+	Config     spec.Config
+	Predicted  spec.Metrics
+	Preference int    // index of the satisfied preference
+	PrefName   string // its name
+	// ValidRanges maps resource kinds to the band within which the chosen
+	// configuration is predicted to keep satisfying the preference; the
+	// monitoring agent arms its triggers with these.
+	ValidRanges map[resource.Kind][2]float64
+}
+
+// Scheduler selects configurations for one tunable application.
+type Scheduler struct {
+	app   *spec.App
+	db    *perfdb.DB
+	prefs []Preference
+	cands []spec.Config
+}
+
+// New creates a scheduler. Candidates default to the configurations
+// present in the database that pass all task guards.
+func New(app *spec.App, db *perfdb.DB, prefs []Preference) (*Scheduler, error) {
+	if len(prefs) == 0 {
+		return nil, fmt.Errorf("scheduler: no preferences given")
+	}
+	for _, p := range prefs {
+		if app.Metric(p.Objective) == nil {
+			return nil, fmt.Errorf("scheduler: preference %q: unknown objective metric %q", p.Name, p.Objective)
+		}
+		for _, c := range p.Constraints {
+			if app.Metric(c.Metric) == nil {
+				return nil, fmt.Errorf("scheduler: preference %q: unknown constrained metric %q", p.Name, c.Metric)
+			}
+		}
+	}
+	s := &Scheduler{app: app, db: db, prefs: prefs}
+	runnable := map[string]bool{}
+	for _, cfg := range app.RunnableConfigs() {
+		runnable[cfg.Key()] = true
+	}
+	for _, cfg := range db.Configs() {
+		if runnable[cfg.Key()] {
+			s.cands = append(s.cands, cfg)
+		}
+	}
+	return s, nil
+}
+
+// Candidates returns the candidate configurations in canonical order.
+func (s *Scheduler) Candidates() []spec.Config {
+	out := make([]spec.Config, len(s.cands))
+	copy(out, s.cands)
+	return out
+}
+
+// Preferences returns the preference list.
+func (s *Scheduler) Preferences() []Preference { return s.prefs }
+
+// Select picks the configuration best satisfying the highest-priority
+// feasible preference under resource conditions res.
+func (s *Scheduler) Select(res resource.Vector) (Decision, error) {
+	for pi, pref := range s.prefs {
+		best, bestM, found := s.selectForPref(pref, res)
+		if !found {
+			continue
+		}
+		d := Decision{
+			Config:      best,
+			Predicted:   bestM,
+			Preference:  pi,
+			PrefName:    pref.Name,
+			ValidRanges: s.validRanges(best, pref, res),
+		}
+		return d, nil
+	}
+	return Decision{}, ErrNoFeasible
+}
+
+// selectForPref evaluates one preference: prune by constraints, optimize
+// the objective, break ties deterministically by configuration key.
+func (s *Scheduler) selectForPref(pref Preference, res resource.Vector) (spec.Config, spec.Metrics, bool) {
+	type scored struct {
+		cfg spec.Config
+		m   spec.Metrics
+		obj float64
+	}
+	var feasible []scored
+	for _, cfg := range s.cands {
+		m, err := s.db.Predict(cfg, res)
+		if err != nil {
+			continue
+		}
+		ok := true
+		for _, c := range pref.Constraints {
+			v, has := m[c.Metric]
+			if !has || !c.Satisfied(v) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		obj, has := m[pref.Objective]
+		if !has {
+			continue
+		}
+		feasible = append(feasible, scored{cfg: cfg, m: m, obj: obj})
+	}
+	if len(feasible) == 0 {
+		return nil, nil, false
+	}
+	higher := s.app.Metric(pref.Objective).Better == spec.HigherIsBetter
+	sort.Slice(feasible, func(i, j int) bool {
+		if feasible[i].obj != feasible[j].obj {
+			if higher {
+				return feasible[i].obj > feasible[j].obj
+			}
+			return feasible[i].obj < feasible[j].obj
+		}
+		return feasible[i].cfg.Key() < feasible[j].cfg.Key()
+	})
+	return feasible[0].cfg, feasible[0].m, true
+}
+
+// validRanges derives, per resource kind in res, the contiguous band of
+// values (holding other kinds fixed) within which cfg remains the
+// scheduler's selection — i.e. it both keeps satisfying the preference's
+// constraints and stays ahead of every alternative. Leaving the band in
+// either direction therefore warrants a trigger: downward because the
+// configuration fails, upward because a better configuration has become
+// feasible. Bands are computed on the profile lattice; a band touching
+// the lattice edge is left open in that direction (±Inf) since the
+// database has no evidence of change beyond it.
+func (s *Scheduler) validRanges(cfg spec.Config, pref Preference, res resource.Vector) map[resource.Kind][2]float64 {
+	out := map[resource.Kind][2]float64{}
+	axes := s.latticeAxes(cfg)
+	for kind, pts := range axes {
+		cur, ok := res[kind]
+		if !ok || len(pts) == 0 {
+			continue
+		}
+		satisfies := func(v float64) bool {
+			chosen, _, found := s.selectForPref(pref, res.With(kind, v))
+			return found && chosen.Equal(cfg)
+		}
+		// Index of the lattice point nearest the current value.
+		idx := 0
+		for i, p := range pts {
+			if math.Abs(p-cur) < math.Abs(pts[idx]-cur) {
+				idx = i
+			}
+		}
+		lo, hi := idx, idx
+		for lo-1 >= 0 && satisfies(pts[lo-1]) {
+			lo--
+		}
+		for hi+1 < len(pts) && satisfies(pts[hi+1]) {
+			hi++
+		}
+		band := [2]float64{pts[lo], pts[hi]}
+		if lo == 0 {
+			band[0] = math.Inf(-1)
+		}
+		if hi == len(pts)-1 {
+			band[1] = math.Inf(1)
+		}
+		out[kind] = band
+	}
+	return out
+}
+
+// latticeAxes reconstructs the per-kind sorted sample values for cfg.
+func (s *Scheduler) latticeAxes(cfg spec.Config) map[resource.Kind][]float64 {
+	axes := map[resource.Kind]map[float64]bool{}
+	for _, rec := range s.db.Records(cfg) {
+		for k, v := range rec.Resources {
+			if axes[k] == nil {
+				axes[k] = map[float64]bool{}
+			}
+			axes[k][v] = true
+		}
+	}
+	out := map[resource.Kind][]float64{}
+	for k, set := range axes {
+		pts := make([]float64, 0, len(set))
+		for v := range set {
+			pts = append(pts, v)
+		}
+		sort.Float64s(pts)
+		out[k] = pts
+	}
+	return out
+}

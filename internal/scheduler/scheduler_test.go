@@ -1,0 +1,289 @@
+package scheduler
+
+import (
+	"math"
+	"testing"
+
+	"tunable/internal/perfdb"
+	"tunable/internal/resource"
+	"tunable/internal/spec"
+)
+
+// codecApp mirrors the Figure 6(a) situation: two codecs whose transmission
+// times cross over as bandwidth varies.
+func codecApp() *spec.App {
+	return spec.MustParse(`
+app codec_demo;
+control_parameters {
+    enum c in {lzw, bzw};
+    int l in {3, 4};
+}
+qos_metric {
+    duration transmit_time minimize;
+    scalar resolution maximize;
+}
+`)
+}
+
+// buildDB populates transmit_time = data(l)/ratio(c)/bw + cpu(c), the
+// pipelined-transfer shape that creates the crossover.
+func buildDB(t *testing.T, app *spec.App) *perfdb.DB {
+	t.Helper()
+	db := perfdb.New(app)
+	for _, c := range []string{"lzw", "bzw"} {
+		for _, l := range []int{3, 4} {
+			data := 1e6
+			if l == 3 {
+				data = 0.25e6
+			}
+			ratio, cpu := 2.0, 1.0
+			if c == "bzw" {
+				ratio, cpu = 4.0, 8.0
+			}
+			for _, bw := range []float64{25e3, 50e3, 100e3, 250e3, 500e3, 1000e3} {
+				tt := math.Max(data/ratio/bw, cpu)
+				cfg := spec.Config{"c": spec.Enum(c), "l": spec.Int(l)}
+				err := db.Add(cfg, resource.Vector{resource.Bandwidth: bw},
+					spec.Metrics{"transmit_time": tt, "resolution": float64(l)})
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	return db
+}
+
+func TestSelectPicksObjectiveOptimum(t *testing.T) {
+	app := codecApp()
+	db := buildDB(t, app)
+	s, err := New(app, db, []Preference{{
+		Name:        "fast",
+		Constraints: []Constraint{AtLeast("resolution", 4)},
+		Objective:   "transmit_time",
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// High bandwidth: lzw wins (transfer fast, bzw CPU-bound).
+	d, err := s.Select(resource.Vector{resource.Bandwidth: 500e3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Config["c"].S != "lzw" {
+		t.Fatalf("at 500 KB/s chose %s", d.Config.Key())
+	}
+	// Low bandwidth: bzw wins (better ratio).
+	d, err = s.Select(resource.Vector{resource.Bandwidth: 50e3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Config["c"].S != "bzw" {
+		t.Fatalf("at 50 KB/s chose %s", d.Config.Key())
+	}
+	if d.Preference != 0 || d.PrefName != "fast" {
+		t.Fatalf("decision %+v", d)
+	}
+}
+
+func TestConstraintsPrune(t *testing.T) {
+	app := codecApp()
+	db := buildDB(t, app)
+	// Deadline of 3 s at 50 KB/s: l=4 takes ≥8s (bzw cpu) or 10s (lzw
+	// transfer); l=3 with lzw takes 2.5s. Maximize resolution subject to
+	// the deadline → l=3.
+	s, err := New(app, db, []Preference{{
+		Name:        "deadline",
+		Constraints: []Constraint{AtMost("transmit_time", 3)},
+		Objective:   "resolution",
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := s.Select(resource.Vector{resource.Bandwidth: 50e3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Config["l"].I != 3 {
+		t.Fatalf("chose %s", d.Config.Key())
+	}
+	if d.Predicted["transmit_time"] > 3 {
+		t.Fatalf("predicted %v violates constraint", d.Predicted)
+	}
+}
+
+func TestPreferenceFallback(t *testing.T) {
+	app := codecApp()
+	db := buildDB(t, app)
+	s, err := New(app, db, []Preference{
+		{
+			Name:        "impossible",
+			Constraints: []Constraint{AtMost("transmit_time", 0.001)},
+			Objective:   "resolution",
+		},
+		{
+			Name:      "fallback",
+			Objective: "transmit_time",
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := s.Select(resource.Vector{resource.Bandwidth: 100e3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Preference != 1 || d.PrefName != "fallback" {
+		t.Fatalf("decision %+v", d)
+	}
+}
+
+func TestNoFeasible(t *testing.T) {
+	app := codecApp()
+	db := buildDB(t, app)
+	s, _ := New(app, db, []Preference{{
+		Name:        "impossible",
+		Constraints: []Constraint{AtMost("transmit_time", 0.0001)},
+		Objective:   "resolution",
+	}})
+	if _, err := s.Select(resource.Vector{resource.Bandwidth: 100e3}); err != ErrNoFeasible {
+		t.Fatalf("err %v", err)
+	}
+}
+
+func TestInterpolatedSelection(t *testing.T) {
+	app := codecApp()
+	db := buildDB(t, app)
+	s, _ := New(app, db, []Preference{{
+		Name:      "fast",
+		Objective: "transmit_time",
+	}})
+	// 75 KB/s is between lattice points; interpolation must still answer.
+	d, err := s.Select(resource.Vector{resource.Bandwidth: 75e3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Config["l"].I != 3 {
+		t.Fatalf("chose %s", d.Config.Key())
+	}
+}
+
+func TestValidRanges(t *testing.T) {
+	app := codecApp()
+	db := buildDB(t, app)
+	s, _ := New(app, db, []Preference{{
+		Name:        "deadline",
+		Constraints: []Constraint{AtMost("transmit_time", 3)},
+		Objective:   "resolution",
+	}})
+	d, err := s.Select(resource.Vector{resource.Bandwidth: 500e3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	band, ok := d.ValidRanges[resource.Bandwidth]
+	if !ok {
+		t.Fatalf("no bandwidth band in %+v", d.ValidRanges)
+	}
+	// The chosen config (lzw l=4: 0.5e6/bw) satisfies ≤3 s down to
+	// ~167 KB/s; the lattice run is [250e3, +inf).
+	if band[0] != 250e3 {
+		t.Fatalf("band lo %v, want 250e3", band[0])
+	}
+	if !math.IsInf(band[1], 1) {
+		t.Fatalf("band hi %v, want +Inf (open at lattice edge)", band[1])
+	}
+}
+
+func TestValidRangeOpenBothEnds(t *testing.T) {
+	app := codecApp()
+	db := buildDB(t, app)
+	s, _ := New(app, db, []Preference{{
+		Name:      "anything",
+		Objective: "transmit_time",
+	}})
+	d, err := s.Select(resource.Vector{resource.Bandwidth: 100e3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	band := d.ValidRanges[resource.Bandwidth]
+	if !math.IsInf(band[0], -1) || !math.IsInf(band[1], 1) {
+		t.Fatalf("unconstrained preference should yield open band, got %v", band)
+	}
+}
+
+func TestGuardsPruneCandidates(t *testing.T) {
+	app := codecApp()
+	app.Tasks = append(app.Tasks, spec.Task{
+		Name:  "main",
+		Guard: spec.MustParseExpr("l >= 4"),
+	})
+	db := buildDB(t, app)
+	s, err := New(app, db, []Preference{{Name: "p", Objective: "transmit_time"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(s.Candidates()); got != 2 {
+		t.Fatalf("%d candidates, want 2 (l=4 only)", got)
+	}
+	d, err := s.Select(resource.Vector{resource.Bandwidth: 500e3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Config["l"].I != 4 {
+		t.Fatalf("guard violated: %s", d.Config.Key())
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	app := codecApp()
+	db := buildDB(t, app)
+	if _, err := New(app, db, nil); err == nil {
+		t.Fatal("no preferences accepted")
+	}
+	if _, err := New(app, db, []Preference{{Objective: "bogus"}}); err == nil {
+		t.Fatal("bad objective accepted")
+	}
+	if _, err := New(app, db, []Preference{{
+		Objective:   "transmit_time",
+		Constraints: []Constraint{AtMost("bogus", 1)},
+	}}); err == nil {
+		t.Fatal("bad constraint metric accepted")
+	}
+}
+
+func TestDeterministicTieBreak(t *testing.T) {
+	app := spec.MustParse(`
+app tie;
+control_parameters { int n in {1, 2}; }
+qos_metric { duration t minimize; }
+`)
+	db := perfdb.New(app)
+	for _, n := range []int{1, 2} {
+		db.Add(spec.Config{"n": spec.Int(n)}, resource.Vector{resource.CPU: 0.5}, spec.Metrics{"t": 1.0})
+	}
+	s, _ := New(app, db, []Preference{{Name: "p", Objective: "t"}})
+	for i := 0; i < 5; i++ {
+		d, err := s.Select(resource.Vector{resource.CPU: 0.5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Config.Key() != "n=1" {
+			t.Fatalf("tie broken to %s", d.Config.Key())
+		}
+	}
+}
+
+func TestConstraintHelpers(t *testing.T) {
+	c := AtMost("t", 5)
+	if !c.Satisfied(5) || c.Satisfied(5.1) {
+		t.Fatal("AtMost")
+	}
+	c = AtLeast("t", 2)
+	if !c.Satisfied(2) || c.Satisfied(1.9) {
+		t.Fatal("AtLeast")
+	}
+	c = Constraint{Metric: "t", Lo: 1, Hi: 2}
+	if !c.Satisfied(1.5) || c.Satisfied(0.5) || c.Satisfied(2.5) {
+		t.Fatal("range")
+	}
+}

@@ -1,0 +1,91 @@
+package spec
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Format renders the application back into the annotation language
+// accepted by Parse. The output round-trips: Parse(Format(app)) yields an
+// equivalent specification. Guards are emitted from their original source
+// text when available, otherwise from the normalized form.
+func (a *App) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "app %s;\n", a.Name)
+	if len(a.Params) > 0 {
+		sb.WriteString("\ncontrol_parameters {\n")
+		for _, p := range a.Params {
+			vals := make([]string, len(p.Domain))
+			for i, v := range p.Domain {
+				vals[i] = v.String()
+			}
+			fmt.Fprintf(&sb, "    %s %s in {%s};\n", p.Kind, p.Name, strings.Join(vals, ", "))
+		}
+		sb.WriteString("}\n")
+	}
+	if len(a.Env.Hosts) > 0 || len(a.Env.Links) > 0 {
+		sb.WriteString("\nexecution_env {\n")
+		for _, h := range a.Env.Hosts {
+			fmt.Fprintf(&sb, "    host %s;\n", h.Name)
+		}
+		for _, l := range a.Env.Links {
+			fmt.Fprintf(&sb, "    link %s from %s to %s;\n", l.Name, l.From, l.To)
+		}
+		sb.WriteString("}\n")
+	}
+	if len(a.Metrics) > 0 {
+		sb.WriteString("\nqos_metric {\n")
+		for _, m := range a.Metrics {
+			unit := "scalar"
+			switch m.Unit {
+			case "s":
+				unit = "duration"
+			case "B":
+				unit = "bytes"
+			}
+			fmt.Fprintf(&sb, "    %s %s %s;\n", unit, m.Name, m.Better)
+		}
+		sb.WriteString("}\n")
+	}
+	for _, t := range a.Tasks {
+		fmt.Fprintf(&sb, "\ntask %s {\n", t.Name)
+		if len(t.Params) > 0 {
+			fmt.Fprintf(&sb, "    params { %s }\n", strings.Join(t.Params, ", "))
+		}
+		if len(t.Uses) > 0 {
+			refs := make([]string, len(t.Uses))
+			for i, u := range t.Uses {
+				refs[i] = u.String()
+			}
+			fmt.Fprintf(&sb, "    uses { %s }\n", strings.Join(refs, ", "))
+		}
+		if len(t.Yields) > 0 {
+			fmt.Fprintf(&sb, "    yields { %s }\n", strings.Join(t.Yields, ", "))
+		}
+		if len(t.Next) > 0 {
+			fmt.Fprintf(&sb, "    next { %s }\n", strings.Join(t.Next, ", "))
+		}
+		if t.Guard != nil {
+			fmt.Fprintf(&sb, "    guard ( %s )\n", guardSource(t.Guard))
+		}
+		sb.WriteString("}\n")
+	}
+	for _, tr := range a.Transitions {
+		sb.WriteString("\ntransition {\n")
+		if tr.Guard != nil {
+			fmt.Fprintf(&sb, "    guard ( %s )\n", guardSource(tr.Guard))
+		}
+		if tr.Action != "" {
+			fmt.Fprintf(&sb, "    action %s;\n", tr.Action)
+		}
+		sb.WriteString("}\n")
+	}
+	return sb.String()
+}
+
+func guardSource(e *Expr) string {
+	if src := strings.TrimSpace(e.Source()); src != "" {
+		return src
+	}
+	return e.String()
+}

@@ -1,0 +1,523 @@
+package spec
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"tunable/internal/resource"
+)
+
+// Parse reads a tunability specification in the textual annotation
+// language modeled on Figure 2 of the paper. Example:
+//
+//	app active_visualization;
+//
+//	control_parameters {
+//	    int dR in {80, 160, 320};   // incremental fovea size
+//	    enum c in {lzw, bzw};       // compression type
+//	    int l in {2, 3, 4};         // resolution level
+//	}
+//
+//	execution_env {
+//	    host client;
+//	    host server;
+//	    link net from client to server;
+//	}
+//
+//	qos_metric {
+//	    duration transmit_time minimize;
+//	    duration response_time minimize;
+//	    scalar resolution maximize;
+//	}
+//
+//	task module1 {
+//	    params { dR, c, l }
+//	    uses { client.cpu, client.bandwidth, server.cpu }
+//	    yields { transmit_time, response_time, resolution }
+//	    guard ( l >= 2 )
+//	}
+//
+//	transition {
+//	    guard ( new.c != cur.c )
+//	    action notify_server;
+//	}
+//
+// Line comments (//) and block comments (/* */) are permitted anywhere.
+func Parse(src string) (*App, error) {
+	s := &scanner{src: src}
+	app := &App{}
+	if err := s.expectIdent("app"); err != nil {
+		return nil, err
+	}
+	name, err := s.ident()
+	if err != nil {
+		return nil, err
+	}
+	app.Name = name
+	if err := s.expect(";"); err != nil {
+		return nil, err
+	}
+	for {
+		s.skipSpace()
+		if s.eof() {
+			break
+		}
+		kw, err := s.ident()
+		if err != nil {
+			return nil, err
+		}
+		switch kw {
+		case "control_parameters":
+			if err := s.parseParams(app); err != nil {
+				return nil, err
+			}
+		case "execution_env":
+			if err := s.parseEnv(app); err != nil {
+				return nil, err
+			}
+		case "qos_metric":
+			if err := s.parseMetrics(app); err != nil {
+				return nil, err
+			}
+		case "task":
+			if err := s.parseTask(app); err != nil {
+				return nil, err
+			}
+		case "transition":
+			if err := s.parseTransition(app); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, s.errorf("unknown section %q", kw)
+		}
+	}
+	if err := app.Validate(); err != nil {
+		return nil, err
+	}
+	return app, nil
+}
+
+// MustParse is Parse that panics on error, for embedding specifications in
+// code and tests.
+func MustParse(src string) *App {
+	app, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return app
+}
+
+type scanner struct {
+	src string
+	pos int
+}
+
+func (s *scanner) eof() bool { return s.pos >= len(s.src) }
+
+func (s *scanner) errorf(format string, args ...any) error {
+	line := 1 + strings.Count(s.src[:s.pos], "\n")
+	return fmt.Errorf("spec: line %d: %s", line, fmt.Sprintf(format, args...))
+}
+
+func (s *scanner) skipSpace() {
+	for s.pos < len(s.src) {
+		c := s.src[s.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			s.pos++
+		case c == '/' && s.pos+1 < len(s.src) && s.src[s.pos+1] == '/':
+			for s.pos < len(s.src) && s.src[s.pos] != '\n' {
+				s.pos++
+			}
+		case c == '/' && s.pos+1 < len(s.src) && s.src[s.pos+1] == '*':
+			s.pos += 2
+			for s.pos+1 < len(s.src) && !(s.src[s.pos] == '*' && s.src[s.pos+1] == '/') {
+				s.pos++
+			}
+			s.pos += 2
+		default:
+			return
+		}
+	}
+}
+
+func (s *scanner) ident() (string, error) {
+	s.skipSpace()
+	if s.eof() || !isIdentStart(s.src[s.pos]) {
+		return "", s.errorf("expected identifier")
+	}
+	start := s.pos
+	for s.pos < len(s.src) && isIdentByte(s.src[s.pos]) {
+		s.pos++
+	}
+	return s.src[start:s.pos], nil
+}
+
+// dottedIdent reads name or name.name.
+func (s *scanner) dottedIdent() (string, error) {
+	first, err := s.ident()
+	if err != nil {
+		return "", err
+	}
+	if s.pos < len(s.src) && s.src[s.pos] == '.' {
+		s.pos++
+		second, err := s.ident()
+		if err != nil {
+			return "", err
+		}
+		return first + "." + second, nil
+	}
+	return first, nil
+}
+
+func (s *scanner) expect(tok string) error {
+	s.skipSpace()
+	if strings.HasPrefix(s.src[s.pos:], tok) {
+		s.pos += len(tok)
+		return nil
+	}
+	got := s.src[s.pos:]
+	if len(got) > 12 {
+		got = got[:12]
+	}
+	return s.errorf("expected %q, found %q", tok, got)
+}
+
+func (s *scanner) expectIdent(want string) error {
+	got, err := s.ident()
+	if err != nil {
+		return err
+	}
+	if got != want {
+		return s.errorf("expected %q, found %q", want, got)
+	}
+	return nil
+}
+
+func (s *scanner) peekIs(tok string) bool {
+	s.skipSpace()
+	return strings.HasPrefix(s.src[s.pos:], tok)
+}
+
+func (s *scanner) int() (int, error) {
+	s.skipSpace()
+	start := s.pos
+	if s.pos < len(s.src) && (s.src[s.pos] == '-' || s.src[s.pos] == '+') {
+		s.pos++
+	}
+	for s.pos < len(s.src) && isDigitByte(s.src[s.pos]) {
+		s.pos++
+	}
+	if start == s.pos {
+		return 0, s.errorf("expected integer")
+	}
+	return strconv.Atoi(s.src[start:s.pos])
+}
+
+// balancedParen consumes "( ... )" with nesting and returns the interior.
+func (s *scanner) balancedParen() (string, error) {
+	if err := s.expect("("); err != nil {
+		return "", err
+	}
+	depth := 1
+	start := s.pos
+	for s.pos < len(s.src) {
+		switch s.src[s.pos] {
+		case '(':
+			depth++
+		case ')':
+			depth--
+			if depth == 0 {
+				inner := s.src[start:s.pos]
+				s.pos++
+				return inner, nil
+			}
+		}
+		s.pos++
+	}
+	return "", s.errorf("unterminated parenthesis")
+}
+
+func (s *scanner) parseParams(app *App) error {
+	if err := s.expect("{"); err != nil {
+		return err
+	}
+	for !s.peekIs("}") {
+		kindName, err := s.ident()
+		if err != nil {
+			return err
+		}
+		var kind ValueKind
+		switch kindName {
+		case "int":
+			kind = IntValue
+		case "enum":
+			kind = EnumValue
+		default:
+			return s.errorf("unknown parameter type %q", kindName)
+		}
+		name, err := s.ident()
+		if err != nil {
+			return err
+		}
+		if err := s.expectIdent("in"); err != nil {
+			return err
+		}
+		if err := s.expect("{"); err != nil {
+			return err
+		}
+		var domain []Value
+		for {
+			if kind == IntValue {
+				n, err := s.int()
+				if err != nil {
+					return err
+				}
+				domain = append(domain, Int(n))
+			} else {
+				sym, err := s.ident()
+				if err != nil {
+					return err
+				}
+				domain = append(domain, Enum(sym))
+			}
+			if s.peekIs(",") {
+				s.expect(",")
+				continue
+			}
+			break
+		}
+		if err := s.expect("}"); err != nil {
+			return err
+		}
+		if err := s.expect(";"); err != nil {
+			return err
+		}
+		app.Params = append(app.Params, Param{Name: name, Kind: kind, Domain: domain})
+	}
+	return s.expect("}")
+}
+
+func (s *scanner) parseEnv(app *App) error {
+	if err := s.expect("{"); err != nil {
+		return err
+	}
+	for !s.peekIs("}") {
+		kw, err := s.ident()
+		if err != nil {
+			return err
+		}
+		switch kw {
+		case "host":
+			name, err := s.ident()
+			if err != nil {
+				return err
+			}
+			app.Env.Hosts = append(app.Env.Hosts, HostDecl{Name: name})
+		case "link":
+			name, err := s.ident()
+			if err != nil {
+				return err
+			}
+			if err := s.expectIdent("from"); err != nil {
+				return err
+			}
+			from, err := s.ident()
+			if err != nil {
+				return err
+			}
+			if err := s.expectIdent("to"); err != nil {
+				return err
+			}
+			to, err := s.ident()
+			if err != nil {
+				return err
+			}
+			app.Env.Links = append(app.Env.Links, LinkDecl{Name: name, From: from, To: to})
+		default:
+			return s.errorf("unknown environment component %q", kw)
+		}
+		if err := s.expect(";"); err != nil {
+			return err
+		}
+	}
+	return s.expect("}")
+}
+
+func (s *scanner) parseMetrics(app *App) error {
+	if err := s.expect("{"); err != nil {
+		return err
+	}
+	for !s.peekIs("}") {
+		unitName, err := s.ident()
+		if err != nil {
+			return err
+		}
+		var unit string
+		switch unitName {
+		case "duration":
+			unit = "s"
+		case "scalar":
+			unit = ""
+		case "bytes":
+			unit = "B"
+		default:
+			return s.errorf("unknown metric unit %q (want duration, scalar, or bytes)", unitName)
+		}
+		name, err := s.ident()
+		if err != nil {
+			return err
+		}
+		dirName, err := s.ident()
+		if err != nil {
+			return err
+		}
+		var dir Direction
+		switch dirName {
+		case "minimize":
+			dir = LowerIsBetter
+		case "maximize":
+			dir = HigherIsBetter
+		default:
+			return s.errorf("unknown direction %q (want minimize or maximize)", dirName)
+		}
+		if err := s.expect(";"); err != nil {
+			return err
+		}
+		app.Metrics = append(app.Metrics, MetricDecl{Name: name, Unit: unit, Better: dir})
+	}
+	return s.expect("}")
+}
+
+func (s *scanner) parseTask(app *App) error {
+	name, err := s.ident()
+	if err != nil {
+		return err
+	}
+	t := Task{Name: name}
+	if err := s.expect("{"); err != nil {
+		return err
+	}
+	for !s.peekIs("}") {
+		kw, err := s.ident()
+		if err != nil {
+			return err
+		}
+		switch kw {
+		case "params":
+			names, err := s.identList()
+			if err != nil {
+				return err
+			}
+			t.Params = names
+		case "uses":
+			names, err := s.identList()
+			if err != nil {
+				return err
+			}
+			for _, n := range names {
+				parts := strings.SplitN(n, ".", 2)
+				if len(parts) != 2 {
+					return s.errorf("resource reference %q must be component.resource", n)
+				}
+				t.Uses = append(t.Uses, ResourceRef{Component: parts[0], Kind: resource.Kind(parts[1])})
+			}
+		case "yields":
+			names, err := s.identList()
+			if err != nil {
+				return err
+			}
+			t.Yields = names
+		case "next":
+			names, err := s.identList()
+			if err != nil {
+				return err
+			}
+			t.Next = names
+		case "guard":
+			src, err := s.balancedParen()
+			if err != nil {
+				return err
+			}
+			expr, err := ParseExpr(src)
+			if err != nil {
+				return err
+			}
+			t.Guard = expr
+		default:
+			return s.errorf("unknown task clause %q", kw)
+		}
+	}
+	if err := s.expect("}"); err != nil {
+		return err
+	}
+	app.Tasks = append(app.Tasks, t)
+	return nil
+}
+
+// identList parses "{ a, b.c, d }" and returns the (possibly dotted)
+// identifiers.
+func (s *scanner) identList() ([]string, error) {
+	if err := s.expect("{"); err != nil {
+		return nil, err
+	}
+	var out []string
+	for {
+		id, err := s.dottedIdent()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, id)
+		if s.peekIs(",") {
+			s.expect(",")
+			continue
+		}
+		break
+	}
+	if err := s.expect("}"); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (s *scanner) parseTransition(app *App) error {
+	tr := Transition{}
+	if err := s.expect("{"); err != nil {
+		return err
+	}
+	for !s.peekIs("}") {
+		kw, err := s.ident()
+		if err != nil {
+			return err
+		}
+		switch kw {
+		case "guard":
+			src, err := s.balancedParen()
+			if err != nil {
+				return err
+			}
+			expr, err := ParseExpr(src)
+			if err != nil {
+				return err
+			}
+			tr.Guard = expr
+		case "action":
+			name, err := s.ident()
+			if err != nil {
+				return err
+			}
+			if err := s.expect(";"); err != nil {
+				return err
+			}
+			tr.Action = name
+		default:
+			return s.errorf("unknown transition clause %q", kw)
+		}
+	}
+	if err := s.expect("}"); err != nil {
+		return err
+	}
+	app.Transitions = append(app.Transitions, tr)
+	return nil
+}

@@ -1,0 +1,183 @@
+// Package trace records time series of application quality metrics and
+// resource usage during experiments and renders them as the textual
+// equivalent of the paper's figures: one (t, value) series per plotted
+// line, plus aligned tables for easy comparison against the published
+// curves.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Point is one sample of a series.
+type Point struct {
+	T time.Duration
+	V float64
+}
+
+// Series is a named sequence of samples in time order.
+type Series struct {
+	Name   string
+	Unit   string
+	Points []Point
+}
+
+// Add appends a sample.
+func (s *Series) Add(t time.Duration, v float64) {
+	s.Points = append(s.Points, Point{T: t, V: v})
+}
+
+// Len returns the number of samples.
+func (s *Series) Len() int { return len(s.Points) }
+
+// Last returns the most recent sample.
+func (s *Series) Last() (Point, bool) {
+	if len(s.Points) == 0 {
+		return Point{}, false
+	}
+	return s.Points[len(s.Points)-1], true
+}
+
+// Sum returns the sum of all values.
+func (s *Series) Sum() float64 {
+	var sum float64
+	for _, p := range s.Points {
+		sum += p.V
+	}
+	return sum
+}
+
+// Mean returns the mean value, or 0 for an empty series.
+func (s *Series) Mean() float64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	return s.Sum() / float64(len(s.Points))
+}
+
+// Max returns the maximum value, or -Inf for an empty series.
+func (s *Series) Max() float64 {
+	max := math.Inf(-1)
+	for _, p := range s.Points {
+		if p.V > max {
+			max = p.V
+		}
+	}
+	return max
+}
+
+// Min returns the minimum value, or +Inf for an empty series.
+func (s *Series) Min() float64 {
+	min := math.Inf(1)
+	for _, p := range s.Points {
+		if p.V < min {
+			min = p.V
+		}
+	}
+	return min
+}
+
+// Recorder collects named series.
+type Recorder struct {
+	series map[string]*Series
+	order  []string
+}
+
+// NewRecorder creates an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{series: make(map[string]*Series)}
+}
+
+// Series returns (creating if needed) the series with the given name.
+func (r *Recorder) Series(name, unit string) *Series {
+	if s, ok := r.series[name]; ok {
+		return s
+	}
+	s := &Series{Name: name, Unit: unit}
+	r.series[name] = s
+	r.order = append(r.order, name)
+	return s
+}
+
+// Get returns an existing series.
+func (r *Recorder) Get(name string) (*Series, bool) {
+	s, ok := r.series[name]
+	return s, ok
+}
+
+// Names returns series names in creation order.
+func (r *Recorder) Names() []string {
+	return append([]string(nil), r.order...)
+}
+
+// WriteTable renders all series as an aligned table: one row per sample
+// index, one column per series (series of different lengths pad with
+// blanks). The header carries names and units.
+func (r *Recorder) WriteTable(w io.Writer) error {
+	names := r.Names()
+	if len(names) == 0 {
+		return nil
+	}
+	cols := make([]*Series, len(names))
+	rows := 0
+	for i, n := range names {
+		cols[i] = r.series[n]
+		if cols[i].Len() > rows {
+			rows = cols[i].Len()
+		}
+	}
+	// Header.
+	header := make([]string, 0, 2*len(names))
+	for _, c := range cols {
+		unit := c.Unit
+		if unit == "" {
+			unit = "-"
+		}
+		header = append(header, fmt.Sprintf("t(%s)", c.Name), fmt.Sprintf("%s(%s)", c.Name, unit))
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(header, "\t")); err != nil {
+		return err
+	}
+	for i := 0; i < rows; i++ {
+		fields := make([]string, 0, 2*len(cols))
+		for _, c := range cols {
+			if i < c.Len() {
+				p := c.Points[i]
+				fields = append(fields, fmt.Sprintf("%.3f", p.T.Seconds()), fmt.Sprintf("%.4g", p.V))
+			} else {
+				fields = append(fields, "", "")
+			}
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(fields, "\t")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteSummary renders one line per series with count/mean/min/max/sum.
+func (r *Recorder) WriteSummary(w io.Writer) error {
+	names := r.Names()
+	sorted := append([]string(nil), names...)
+	sort.Strings(sorted)
+	for _, n := range sorted {
+		s := r.series[n]
+		if s.Len() == 0 {
+			if _, err := fmt.Fprintf(w, "%-40s empty\n", n); err != nil {
+				return err
+			}
+			continue
+		}
+		_, err := fmt.Fprintf(w, "%-40s n=%-4d mean=%-10.4g min=%-10.4g max=%-10.4g sum=%-10.4g\n",
+			n, s.Len(), s.Mean(), s.Min(), s.Max(), s.Sum())
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

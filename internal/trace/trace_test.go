@@ -1,0 +1,107 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSeriesStats(t *testing.T) {
+	s := &Series{Name: "x"}
+	if _, ok := s.Last(); ok {
+		t.Fatal("Last on empty")
+	}
+	if s.Mean() != 0 {
+		t.Fatal("Mean on empty")
+	}
+	s.Add(time.Second, 1)
+	s.Add(2*time.Second, 3)
+	s.Add(3*time.Second, 2)
+	if s.Len() != 3 || s.Sum() != 6 || s.Mean() != 2 {
+		t.Fatalf("stats %v %v %v", s.Len(), s.Sum(), s.Mean())
+	}
+	if s.Max() != 3 || s.Min() != 1 {
+		t.Fatalf("minmax %v %v", s.Min(), s.Max())
+	}
+	last, ok := s.Last()
+	if !ok || last.V != 2 || last.T != 3*time.Second {
+		t.Fatalf("last %+v", last)
+	}
+	if !math.IsInf((&Series{}).Max(), -1) {
+		t.Fatal("empty Max")
+	}
+}
+
+func TestRecorderSeriesIdentity(t *testing.T) {
+	r := NewRecorder()
+	a := r.Series("a", "s")
+	b := r.Series("a", "s")
+	if a != b {
+		t.Fatal("Series not idempotent")
+	}
+	if _, ok := r.Get("a"); !ok {
+		t.Fatal("Get")
+	}
+	if _, ok := r.Get("zz"); ok {
+		t.Fatal("phantom series")
+	}
+	r.Series("b", "")
+	names := r.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("names %v", names)
+	}
+}
+
+func TestWriteTable(t *testing.T) {
+	r := NewRecorder()
+	a := r.Series("adaptive", "s")
+	a.Add(time.Second, 1.5)
+	a.Add(2*time.Second, 2.5)
+	b := r.Series("static", "s")
+	b.Add(time.Second, 9)
+	var buf bytes.Buffer
+	if err := r.WriteTable(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSuffix(out, "\n"), "\n")
+	if len(lines) != 3 { // header + 2 rows
+		t.Fatalf("table:\n%s", out)
+	}
+	if !strings.Contains(lines[0], "adaptive") || !strings.Contains(lines[0], "static") {
+		t.Fatalf("header %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "1.5") || !strings.Contains(lines[1], "9") {
+		t.Fatalf("row %q", lines[1])
+	}
+	// Ragged row: static has no second sample, so its two columns are
+	// blank but present.
+	if got := len(strings.Split(lines[2], "\t")); got != 4 {
+		t.Fatalf("ragged row %q has %d fields, want 4", lines[2], got)
+	}
+	// Empty recorder writes nothing.
+	var empty bytes.Buffer
+	if err := NewRecorder().WriteTable(&empty); err != nil || empty.Len() != 0 {
+		t.Fatal("empty recorder")
+	}
+}
+
+func TestWriteSummary(t *testing.T) {
+	r := NewRecorder()
+	r.Series("z", "s").Add(0, 5)
+	r.Series("a", "s")
+	var buf bytes.Buffer
+	if err := r.WriteSummary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "empty") {
+		t.Fatalf("summary missing empty marker:\n%s", out)
+	}
+	// Sorted: "a" line before "z".
+	if strings.Index(out, "a ") > strings.Index(out, "z ") {
+		t.Fatalf("summary not sorted:\n%s", out)
+	}
+}

@@ -1,0 +1,45 @@
+package vtime
+
+import "time"
+
+// Clock abstracts the passage of time so components (monitors, shapers,
+// transports) can run identically on the simulation kernel and on the real
+// system clock. Virtual-time code paths use *Proc directly; Clock exists
+// for the real-TCP deployment mode of the tools in cmd/.
+type Clock interface {
+	// Now reports elapsed time since the clock's epoch.
+	Now() time.Duration
+	// Sleep suspends the caller for d.
+	Sleep(d time.Duration)
+}
+
+// RealClock is a Clock over the operating-system clock.
+type RealClock struct {
+	epoch time.Time
+}
+
+// NewRealClock returns a RealClock whose epoch is the moment of the call.
+func NewRealClock() *RealClock { return &RealClock{epoch: time.Now()} }
+
+// Now reports wall-clock time since the epoch.
+func (c *RealClock) Now() time.Duration { return time.Since(c.epoch) }
+
+// Sleep suspends the calling goroutine for d of wall-clock time.
+func (c *RealClock) Sleep(d time.Duration) { time.Sleep(d) }
+
+// ProcClock adapts a simulation process to the Clock interface. It must
+// only be used by that process.
+type ProcClock struct {
+	P *Proc
+}
+
+// Now reports current virtual time.
+func (c ProcClock) Now() time.Duration { return c.P.Now() }
+
+// Sleep suspends the process for d of virtual time.
+func (c ProcClock) Sleep(d time.Duration) { c.P.Sleep(d) }
+
+var (
+	_ Clock = (*RealClock)(nil)
+	_ Clock = ProcClock{}
+)

@@ -1,0 +1,33 @@
+package vtime
+
+import (
+	"testing"
+	"time"
+)
+
+func TestProcClock(t *testing.T) {
+	s := NewSim()
+	s.Spawn("p", func(p *Proc) {
+		c := ProcClock{P: p}
+		if c.Now() != 0 {
+			t.Errorf("initial %v", c.Now())
+		}
+		c.Sleep(3 * time.Second)
+		if c.Now() != 3*time.Second {
+			t.Errorf("after sleep %v", c.Now())
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRealClock(t *testing.T) {
+	c := NewRealClock()
+	a := c.Now()
+	c.Sleep(10 * time.Millisecond)
+	b := c.Now()
+	if b-a < 5*time.Millisecond {
+		t.Fatalf("real clock advanced only %v", b-a)
+	}
+}

@@ -1,0 +1,379 @@
+// Package vtime implements a deterministic discrete-event virtual-time
+// kernel. It is the execution substrate for the resource-constrained
+// "testbed" environment of Chang & Karamcheti's adaptation framework:
+// every profiled or adapted application in this repository runs as a set
+// of cooperating processes whose notion of time is the simulation clock,
+// so experiments replay deterministically and complete in milliseconds of
+// wall-clock time regardless of how many virtual seconds they span.
+//
+// The kernel uses a sequential hand-off discipline: although each process
+// is a real goroutine, exactly one process executes at any moment. A
+// process runs until it performs a blocking kernel operation (Sleep, a
+// channel Send/Recv that cannot complete, Wait on an event); the kernel
+// then selects the next runnable process, or, if none is runnable,
+// advances the clock to the earliest pending timer. Ties at the same
+// timestamp are broken by ascending sequence number, so a given program
+// always produces the same schedule.
+package vtime
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// ErrDeadlock is returned by Run when live processes remain but none is
+// runnable and no timer is pending.
+var ErrDeadlock = errors.New("vtime: deadlock: all processes blocked with no pending timers")
+
+// ErrStopped is returned by Run when the simulation was stopped explicitly
+// via Stop before all processes finished.
+var ErrStopped = errors.New("vtime: simulation stopped")
+
+// Sim is a discrete-event simulation kernel. The zero value is not usable;
+// construct with NewSim.
+type Sim struct {
+	now     time.Duration
+	seq     uint64
+	runq    []*Proc
+	timers  timerHeap
+	procs   map[int64]*Proc
+	nextID  int64
+	sched   chan schedMsg // processes hand the execution token back here
+	stopped bool
+	limit   time.Duration // 0 means no limit
+	cur     *Proc
+}
+
+type schedMsg struct {
+	p      *Proc
+	exited bool
+}
+
+// NewSim returns a fresh simulation whose clock starts at zero.
+func NewSim() *Sim {
+	return &Sim{
+		procs: make(map[int64]*Proc),
+		sched: make(chan schedMsg),
+	}
+}
+
+// Now reports the current virtual time. It may be called from within a
+// running process or between Run calls; during Run it must only be called
+// by the currently executing process.
+func (s *Sim) Now() time.Duration { return s.now }
+
+// Proc is the handle a process uses to interact with the kernel. Every
+// kernel operation takes the Proc of the calling process; using another
+// process's handle corrupts the schedule and is a programming error.
+type Proc struct {
+	sim    *Sim
+	id     int64
+	name   string
+	resume chan struct{}
+	// wake bookkeeping for channel operations
+	waitSlot   any  // value delivered directly to a blocked receiver
+	waitOK     bool // whether the delivered value is valid (vs channel closed)
+	timer      *timer
+	blockedOn  string
+	exited     bool
+	interrupts []func()
+}
+
+// ID returns the process's unique id (assigned in spawn order).
+func (p *Proc) ID() int64 { return p.id }
+
+// Name returns the name the process was spawned with.
+func (p *Proc) Name() string { return p.name }
+
+// Sim returns the simulation this process belongs to.
+func (p *Proc) Sim() *Sim { return p.sim }
+
+// Now reports current virtual time.
+func (p *Proc) Now() time.Duration { return p.sim.now }
+
+// Spawn registers fn as a new process. It may be called before Run or from
+// within a running process. The new process becomes runnable immediately
+// (it is appended to the run queue) but does not preempt the caller.
+func (s *Sim) Spawn(name string, fn func(p *Proc)) *Proc {
+	s.nextID++
+	p := &Proc{
+		sim:    s,
+		id:     s.nextID,
+		name:   name,
+		resume: make(chan struct{}),
+	}
+	s.procs[p.id] = p
+	s.runq = append(s.runq, p)
+	go func() {
+		<-p.resume // wait until first scheduled
+		fn(p)
+		p.exited = true
+		s.sched <- schedMsg{p: p, exited: true}
+	}()
+	return p
+}
+
+// Spawn creates a child process from within a running process.
+func (p *Proc) Spawn(name string, fn func(p *Proc)) *Proc {
+	return p.sim.Spawn(name, fn)
+}
+
+// timer is a pending wake-up.
+type timer struct {
+	at      time.Duration
+	seq     uint64
+	p       *Proc
+	fired   bool
+	stopped bool
+	fn      func() // if non-nil, a callback timer rather than a proc wake
+}
+
+type timerHeap []*timer
+
+func (h timerHeap) Len() int { return len(h) }
+func (h timerHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h timerHeap) Swap(i, j int)  { h[i], h[j] = h[j], h[i] }
+func (h *timerHeap) push(t *timer) { *h = append(*h, t); h.up(len(*h) - 1) }
+func (h *timerHeap) pop() *timer {
+	old := *h
+	n := len(old)
+	top := old[0]
+	old[0] = old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	if len(*h) > 0 {
+		h.down(0)
+	}
+	return top
+}
+func (h timerHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.Less(i, parent) {
+			break
+		}
+		h.Swap(i, parent)
+		i = parent
+	}
+}
+func (h timerHeap) down(i int) {
+	n := len(h)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && h.Less(l, smallest) {
+			smallest = l
+		}
+		if r < n && h.Less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h.Swap(i, smallest)
+		i = smallest
+	}
+}
+
+// addTimer schedules a wake-up for proc p (or callback fn) at absolute time at.
+func (s *Sim) addTimer(p *Proc, at time.Duration, fn func()) *timer {
+	s.seq++
+	t := &timer{at: at, seq: s.seq, p: p, fn: fn}
+	s.timers.push(t)
+	return t
+}
+
+// Run executes the simulation until every process has exited, the optional
+// limit set by RunUntil is reached, or no progress is possible. It returns
+// nil on normal completion, ErrDeadlock if live processes remain blocked
+// forever, and ErrStopped after Stop.
+func (s *Sim) Run() error {
+	for {
+		if s.stopped {
+			return ErrStopped
+		}
+		if len(s.runq) == 0 {
+			// Advance the clock to the next timer batch.
+			if !s.advance() {
+				if len(s.procs) == 0 {
+					return nil
+				}
+				return fmt.Errorf("%w: %s", ErrDeadlock, s.blockedSummary())
+			}
+			continue
+		}
+		p := s.runq[0]
+		copy(s.runq, s.runq[1:])
+		s.runq = s.runq[:len(s.runq)-1]
+		s.cur = p
+		p.resume <- struct{}{}
+		msg := <-s.sched
+		s.cur = nil
+		if msg.exited {
+			delete(s.procs, msg.p.id)
+		}
+		if len(s.procs) == 0 && len(s.runq) == 0 {
+			return nil
+		}
+	}
+}
+
+// RunUntil runs the simulation but stops (successfully) once virtual time
+// would pass t. Processes still alive at that point remain suspended; Run
+// or RunUntil may be invoked again to continue.
+func (s *Sim) RunUntil(t time.Duration) error {
+	s.limit = t
+	defer func() { s.limit = 0 }()
+	for {
+		if s.stopped {
+			return ErrStopped
+		}
+		if len(s.runq) == 0 {
+			if len(s.timers) > 0 && s.nextTimerAt() > t {
+				return nil // reached the horizon
+			}
+			if !s.advance() {
+				if len(s.procs) == 0 {
+					return nil
+				}
+				return fmt.Errorf("%w: %s", ErrDeadlock, s.blockedSummary())
+			}
+			continue
+		}
+		p := s.runq[0]
+		copy(s.runq, s.runq[1:])
+		s.runq = s.runq[:len(s.runq)-1]
+		s.cur = p
+		p.resume <- struct{}{}
+		msg := <-s.sched
+		s.cur = nil
+		if msg.exited {
+			delete(s.procs, msg.p.id)
+		}
+		if len(s.procs) == 0 && len(s.runq) == 0 {
+			return nil
+		}
+	}
+}
+
+func (s *Sim) nextTimerAt() time.Duration {
+	for len(s.timers) > 0 && s.timers[0].stopped {
+		s.timers.pop()
+	}
+	if len(s.timers) == 0 {
+		return -1
+	}
+	return s.timers[0].at
+}
+
+// advance moves the clock to the earliest pending timer and makes every
+// timer due at that instant runnable. It reports whether any timer fired.
+func (s *Sim) advance() bool {
+	for len(s.timers) > 0 && s.timers[0].stopped {
+		s.timers.pop()
+	}
+	if len(s.timers) == 0 {
+		return false
+	}
+	at := s.timers[0].at
+	if at > s.now {
+		s.now = at
+	}
+	for len(s.timers) > 0 {
+		top := s.timers[0]
+		if top.stopped {
+			s.timers.pop()
+			continue
+		}
+		if top.at != at {
+			break
+		}
+		s.timers.pop()
+		top.fired = true
+		if top.fn != nil {
+			top.fn()
+			continue
+		}
+		s.runq = append(s.runq, top.p)
+	}
+	return true
+}
+
+// Stop aborts the simulation; the current and subsequent Run calls return
+// ErrStopped. Must be called from within a running process or a timer
+// callback.
+func (s *Sim) Stop() { s.stopped = true }
+
+func (s *Sim) blockedSummary() string {
+	var names []string
+	for _, p := range s.procs {
+		names = append(names, fmt.Sprintf("%s(%s)", p.name, p.blockedOn))
+	}
+	sort.Strings(names)
+	if len(names) > 8 {
+		names = names[:8]
+	}
+	return fmt.Sprint(names)
+}
+
+// yield hands the execution token back to the kernel and waits to be
+// resumed. The caller must already have arranged its wake-up condition
+// (timer or channel waiter registration).
+func (p *Proc) yield() {
+	p.sim.sched <- schedMsg{p: p}
+	<-p.resume
+}
+
+// makeRunnable appends q to the run queue.
+func (s *Sim) makeRunnable(q *Proc) { s.runq = append(s.runq, q) }
+
+// Sleep suspends the calling process for d of virtual time. Negative or
+// zero durations yield the processor without advancing time (the process
+// is re-queued behind currently runnable processes).
+func (p *Proc) Sleep(d time.Duration) {
+	if d <= 0 {
+		p.blockedOn = "yield"
+		p.sim.makeRunnable(p)
+		p.yield()
+		p.blockedOn = ""
+		return
+	}
+	p.blockedOn = "sleep"
+	p.timer = p.sim.addTimer(p, p.sim.now+d, nil)
+	p.yield()
+	p.timer = nil
+	p.blockedOn = ""
+}
+
+// SleepUntil suspends the calling process until absolute virtual time t.
+func (p *Proc) SleepUntil(t time.Duration) {
+	if t <= p.sim.now {
+		p.Sleep(0)
+		return
+	}
+	p.Sleep(t - p.sim.now)
+}
+
+// After schedules fn to run at now+d in kernel context (not as a process).
+// fn must not block; it may spawn processes, send on channels with waiting
+// receivers, or adjust state. It returns a cancel function.
+func (s *Sim) After(d time.Duration, fn func()) (cancel func()) {
+	t := s.addTimer(nil, s.now+d, fn)
+	return func() { t.stopped = true }
+}
+
+// At schedules fn at absolute virtual time t (see After).
+func (s *Sim) At(at time.Duration, fn func()) (cancel func()) {
+	if at < s.now {
+		at = s.now
+	}
+	t := s.addTimer(nil, at, fn)
+	return func() { t.stopped = true }
+}

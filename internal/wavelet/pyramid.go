@@ -1,0 +1,286 @@
+package wavelet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"tunable/internal/imagery"
+)
+
+// Pyramid is the server-side store: an image held as Mallat wavelet
+// coefficients, from which quantized coefficient chunks for arbitrary
+// foveal regions and resolution levels can be extracted.
+type Pyramid struct {
+	Side   int // full-resolution side S
+	Levels int // decomposition depth L
+	coeff  []float64
+}
+
+// Decompose builds a pyramid from an image.
+func Decompose(im *imagery.Image, levels int) (*Pyramid, error) {
+	coeff, err := Forward(im, levels)
+	if err != nil {
+		return nil, err
+	}
+	return &Pyramid{Side: im.Side, Levels: levels, coeff: coeff}, nil
+}
+
+// CoarseSide returns the side of the coarsest approximation.
+func (p *Pyramid) CoarseSide() int { return p.Side >> p.Levels }
+
+// LevelSide returns the image side at resolution level l.
+func (p *Pyramid) LevelSide(l int) int { return p.CoarseSide() << l }
+
+// band identifies one coefficient band: the approximation (k=0) or the
+// H/V/D details at decomposition step k (1..L).
+type band struct {
+	k   int // 0 = approx, else detail level
+	dir int // 0 H (top-right), 1 V (bottom-left), 2 D (bottom-right); unused for approx
+}
+
+// bandsForLevel lists the bands needed to reconstruct resolution level l:
+// the approximation plus detail triples for k = 1..l.
+func bandsForLevel(l int) []band {
+	bs := []band{{k: 0}}
+	for k := 1; k <= l; k++ {
+		for d := 0; d < 3; d++ {
+			bs = append(bs, band{k: k, dir: d})
+		}
+	}
+	return bs
+}
+
+// bandGeometry returns the band's side length and its (row, col) origin in
+// the Mallat layout.
+func (p *Pyramid) bandGeometry(b band) (side, row0, col0 int) {
+	c := p.CoarseSide()
+	if b.k == 0 {
+		return c, 0, 0
+	}
+	s := c << (b.k - 1)
+	switch b.dir {
+	case 0: // H: top-right
+		return s, 0, s
+	case 1: // V: bottom-left
+		return s, s, 0
+	default: // D: bottom-right
+		return s, s, s
+	}
+}
+
+// cellsInDiff enumerates, in deterministic row-major order, the cells of a
+// side-s band grid inside the square of radius rNew centred at (cx, cy)
+// but outside the square of radius rOld (same centre). Radii and centre
+// are in band coordinates; the square is clipped to the grid.
+func cellsInDiff(s, cx, cy, rNew, rOld int, visit func(x, y int)) {
+	y0, y1 := clamp(cy-rNew, 0, s), clamp(cy+rNew, 0, s)
+	x0, x1 := clamp(cx-rNew, 0, s), clamp(cx+rNew, 0, s)
+	for y := y0; y < y1; y++ {
+		for x := x0; x < x1; x++ {
+			if rOld > 0 && x >= cx-rOld && x < cx+rOld && y >= cy-rOld && y < cy+rOld {
+				continue
+			}
+			visit(x, y)
+		}
+	}
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// scaleToBand converts a full-resolution coordinate or radius to band
+// coordinates (band side s, full side S), rounding radii up so coverage is
+// monotone in r.
+func scaleToBand(v, s, S int) int { return (v*s + S - 1) / S }
+
+// Chunk is the unit of progressive transmission: the quantized
+// coefficients refining one foveal increment at one resolution level. The
+// receiver reconstructs cell positions from the header, so only values are
+// carried.
+type Chunk struct {
+	Level  int
+	X, Y   int // fovea centre, full-resolution coordinates
+	R      int // new fovea radius
+	PrevR  int // previously transmitted radius (0 = first increment)
+	scales []float32
+	values [][]int8 // per band, in bandsForLevel order
+}
+
+// ExtractRegion builds the chunk refining the square of radius r centred
+// at (x, y) — full-resolution coordinates — at resolution level l,
+// excluding the already-sent square of radius prevR (same centre; pass 0
+// after a fovea move).
+func (p *Pyramid) ExtractRegion(l, x, y, r, prevR int) (*Chunk, error) {
+	if l < 0 || l > p.Levels {
+		return nil, fmt.Errorf("wavelet: level %d outside [0,%d]", l, p.Levels)
+	}
+	if r <= prevR {
+		return nil, fmt.Errorf("wavelet: radius %d must exceed previous %d", r, prevR)
+	}
+	ch := &Chunk{Level: l, X: x, Y: y, R: r, PrevR: prevR}
+	for _, b := range bandsForLevel(l) {
+		side, row0, col0 := p.bandGeometry(b)
+		cx, cy := x*side/p.Side, y*side/p.Side
+		rNew := scaleToBand(r, side, p.Side)
+		rOld := scaleToBand(prevR, side, p.Side)
+		var vals []float64
+		cellsInDiff(side, cx, cy, rNew, rOld, func(bx, by int) {
+			vals = append(vals, p.coeff[(row0+by)*p.Side+(col0+bx)])
+		})
+		// Quantize to int8 with a per-band scale.
+		var maxAbs float64
+		for _, v := range vals {
+			if a := math.Abs(v); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		scale := float32(maxAbs / 127)
+		if scale == 0 {
+			scale = 1
+		}
+		q := make([]int8, len(vals))
+		for i, v := range vals {
+			q[i] = int8(math.Round(v / float64(scale)))
+		}
+		ch.scales = append(ch.scales, scale)
+		ch.values = append(ch.values, q)
+	}
+	return ch, nil
+}
+
+// Encode serializes the chunk for transmission.
+func (ch *Chunk) Encode() []byte {
+	n := 1 + 1 + 4*4
+	for i := range ch.values {
+		n += 4 + 4 + len(ch.values[i])
+	}
+	out := make([]byte, 0, n)
+	out = append(out, 'W', byte(ch.Level))
+	var hdr [16]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(ch.X))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(ch.Y))
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(ch.R))
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(ch.PrevR))
+	out = append(out, hdr[:]...)
+	for i := range ch.values {
+		var b [8]byte
+		binary.LittleEndian.PutUint32(b[0:], math.Float32bits(ch.scales[i]))
+		binary.LittleEndian.PutUint32(b[4:], uint32(len(ch.values[i])))
+		out = append(out, b[:]...)
+		for _, v := range ch.values[i] {
+			out = append(out, byte(v))
+		}
+	}
+	return out
+}
+
+// DecodeChunk parses a serialized chunk.
+func DecodeChunk(data []byte) (*Chunk, error) {
+	if len(data) < 18 || data[0] != 'W' {
+		return nil, fmt.Errorf("wavelet: malformed chunk header")
+	}
+	ch := &Chunk{Level: int(data[1])}
+	ch.X = int(int32(binary.LittleEndian.Uint32(data[2:])))
+	ch.Y = int(int32(binary.LittleEndian.Uint32(data[6:])))
+	ch.R = int(int32(binary.LittleEndian.Uint32(data[10:])))
+	ch.PrevR = int(int32(binary.LittleEndian.Uint32(data[14:])))
+	off := 18
+	for _, wantBand := range bandsForLevel(ch.Level) {
+		_ = wantBand
+		if off+8 > len(data) {
+			return nil, fmt.Errorf("wavelet: truncated chunk band header")
+		}
+		scale := math.Float32frombits(binary.LittleEndian.Uint32(data[off:]))
+		cnt := int(binary.LittleEndian.Uint32(data[off+4:]))
+		off += 8
+		if off+cnt > len(data) {
+			return nil, fmt.Errorf("wavelet: truncated chunk band data")
+		}
+		vals := make([]int8, cnt)
+		for i := 0; i < cnt; i++ {
+			vals[i] = int8(data[off+i])
+		}
+		off += cnt
+		ch.scales = append(ch.scales, scale)
+		ch.values = append(ch.values, vals)
+	}
+	if off != len(data) {
+		return nil, fmt.Errorf("wavelet: %d trailing bytes in chunk", len(data)-off)
+	}
+	return ch, nil
+}
+
+// Size returns the encoded size in bytes.
+func (ch *Chunk) Size() int {
+	n := 18
+	for _, v := range ch.values {
+		n += 8 + len(v)
+	}
+	return n
+}
+
+// Canvas is the client-side accumulator: received chunks are dequantized
+// into a coefficient array mirroring the server's pyramid, from which the
+// display image at any covered level can be reconstructed.
+type Canvas struct {
+	Side   int
+	Levels int
+	coeff  []float64
+}
+
+// NewCanvas creates an empty canvas matching a pyramid's geometry.
+func NewCanvas(side, levels int) (*Canvas, error) {
+	if err := checkDims(side, levels); err != nil {
+		return nil, err
+	}
+	return &Canvas{Side: side, Levels: levels, coeff: make([]float64, side*side)}, nil
+}
+
+// Apply dequantizes a chunk into the canvas.
+func (c *Canvas) Apply(ch *Chunk) error {
+	if ch.Level > c.Levels {
+		return fmt.Errorf("wavelet: chunk level %d exceeds canvas levels %d", ch.Level, c.Levels)
+	}
+	p := Pyramid{Side: c.Side, Levels: c.Levels}
+	for i, b := range bandsForLevel(ch.Level) {
+		if i >= len(ch.values) {
+			return fmt.Errorf("wavelet: chunk missing band %d", i)
+		}
+		side, row0, col0 := p.bandGeometry(b)
+		cx, cy := ch.X*side/c.Side, ch.Y*side/c.Side
+		rNew := scaleToBand(ch.R, side, c.Side)
+		rOld := scaleToBand(ch.PrevR, side, c.Side)
+		vals := ch.values[i]
+		scale := float64(ch.scales[i])
+		j := 0
+		var applyErr error
+		cellsInDiff(side, cx, cy, rNew, rOld, func(bx, by int) {
+			if j >= len(vals) {
+				applyErr = fmt.Errorf("wavelet: band %d value underrun", i)
+				return
+			}
+			c.coeff[(row0+by)*c.Side+(col0+bx)] = float64(vals[j]) * scale
+			j++
+		})
+		if applyErr != nil {
+			return applyErr
+		}
+		if j != len(vals) {
+			return fmt.Errorf("wavelet: band %d has %d extra values", i, len(vals)-j)
+		}
+	}
+	return nil
+}
+
+// Reconstruct renders the canvas at resolution level l.
+func (c *Canvas) Reconstruct(l int) (*imagery.Image, error) {
+	return InverseLevel(c.coeff, c.Side, c.Levels, l)
+}

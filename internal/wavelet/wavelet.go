@@ -1,0 +1,121 @@
+// Package wavelet implements the 2-D Haar wavelet machinery the active
+// visualization application stores its images in (Section 2.1 of the
+// paper): a multi-level Mallat decomposition, a multi-resolution pyramid
+// supporting per-region extraction of quantized coefficients (the unit of
+// progressive foveal transmission), and the client-side canvas that
+// accumulates received coefficients and reconstructs the image at any
+// resolution level.
+package wavelet
+
+import (
+	"fmt"
+
+	"tunable/internal/imagery"
+)
+
+// analyzeStep performs one level of 2-D Haar analysis in place on the
+// top-left square of side n within a row-major array of stride, writing
+// averages into the first half and details into the second half of each
+// row/column.
+func analyzeStep(data []float64, stride, n int, tmp []float64) {
+	half := n / 2
+	// Rows.
+	for y := 0; y < n; y++ {
+		row := data[y*stride:]
+		for i := 0; i < half; i++ {
+			a, b := row[2*i], row[2*i+1]
+			tmp[i] = (a + b) / 2
+			tmp[half+i] = (a - b) / 2
+		}
+		copy(row[:n], tmp[:n])
+	}
+	// Columns.
+	for x := 0; x < n; x++ {
+		for i := 0; i < half; i++ {
+			a, b := data[(2*i)*stride+x], data[(2*i+1)*stride+x]
+			tmp[i] = (a + b) / 2
+			tmp[half+i] = (a - b) / 2
+		}
+		for i := 0; i < n; i++ {
+			data[i*stride+x] = tmp[i]
+		}
+	}
+}
+
+// synthesizeStep inverts analyzeStep.
+func synthesizeStep(data []float64, stride, n int, tmp []float64) {
+	half := n / 2
+	// Columns.
+	for x := 0; x < n; x++ {
+		for i := 0; i < half; i++ {
+			a, d := data[i*stride+x], data[(half+i)*stride+x]
+			tmp[2*i] = a + d
+			tmp[2*i+1] = a - d
+		}
+		for i := 0; i < n; i++ {
+			data[i*stride+x] = tmp[i]
+		}
+	}
+	// Rows.
+	for y := 0; y < n; y++ {
+		row := data[y*stride:]
+		for i := 0; i < half; i++ {
+			a, d := row[i], row[half+i]
+			tmp[2*i] = a + d
+			tmp[2*i+1] = a - d
+		}
+		copy(row[:n], tmp[:n])
+	}
+}
+
+// Forward computes an L-level Mallat decomposition of a side-S image
+// (S must be divisible by 2^L). The result layout: the top-left
+// (S>>L)-square holds the coarsest approximation; for k = 1..L the detail
+// bands H/V/D of side (S>>L)<<(k-1) sit in the standard Mallat positions
+// within the top-left square of side (S>>L)<<k.
+func Forward(im *imagery.Image, levels int) ([]float64, error) {
+	if err := checkDims(im.Side, levels); err != nil {
+		return nil, err
+	}
+	coeff := make([]float64, len(im.Pix))
+	copy(coeff, im.Pix)
+	tmp := make([]float64, im.Side)
+	for n := im.Side; n > im.Side>>levels; n /= 2 {
+		analyzeStep(coeff, im.Side, n, tmp)
+	}
+	return coeff, nil
+}
+
+// InverseLevel reconstructs the approximation image at resolution level l
+// (side (S>>L)<<l) from Mallat coefficients with full side S and L levels.
+func InverseLevel(coeff []float64, side, levels, l int) (*imagery.Image, error) {
+	if err := checkDims(side, levels); err != nil {
+		return nil, err
+	}
+	if l < 0 || l > levels {
+		return nil, fmt.Errorf("wavelet: level %d outside [0,%d]", l, levels)
+	}
+	coarse := side >> levels
+	target := coarse << l
+	out := imagery.New(target)
+	// Copy the top-left target-square of coefficients, then run l
+	// synthesis steps.
+	for y := 0; y < target; y++ {
+		copy(out.Pix[y*target:(y+1)*target], coeff[y*side:y*side+target])
+	}
+	tmp := make([]float64, target)
+	for n := coarse * 2; n <= target; n *= 2 {
+		synthesizeStep(out.Pix, target, n, tmp)
+	}
+	return out, nil
+}
+
+func checkDims(side, levels int) error {
+	if side <= 0 || levels <= 0 {
+		return fmt.Errorf("wavelet: invalid side %d / levels %d", side, levels)
+	}
+	if side%(1<<levels) != 0 {
+		return fmt.Errorf("wavelet: side %d not divisible by 2^%d", side, levels)
+	}
+	return nil
+}
