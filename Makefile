@@ -1,0 +1,29 @@
+# Standard entry points; `make ci` is the gate run before merging.
+
+GO ?= go
+
+.PHONY: all build vet test race ci bench
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+ci:
+	./scripts/ci.sh
+
+# Quick gate: race suite minus the slow wall-clock tests.
+ci-short:
+	./scripts/ci.sh -short
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .

@@ -3,18 +3,26 @@
 // QoS metrics of the paper (transmission time, average round response
 // time, resolution) for each image.
 //
+// With -metrics-addr it exposes the client-side avis_* metric families at
+// /metrics (Prometheus text format; ?format=json for JSON) plus /healthz.
+// With -io-timeout a dead or wedged server surfaces as a clean timeout
+// error instead of a hang.
+//
 // Usage:
 //
 //	avis-client -addr localhost:7465 -dr 320 -codec lzw -level 4 -n 3 -bw 500000
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net"
+	"time"
 
 	"tunable/internal/avis"
+	"tunable/internal/metrics"
 	"tunable/internal/wavelet"
 )
 
@@ -26,21 +34,35 @@ func main() {
 	n := flag.Int("n", 1, "number of images to download")
 	bw := flag.Float64("bw", 0, "shape the connection to this many bytes/second (0 = unshaped)")
 	verify := flag.Bool("verify", false, "reconstruct images client-side and report integrity")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /healthz on this address (empty = disabled)")
+	ioTimeout := flag.Duration("io-timeout", 0, "fail a frame read/write that makes no progress for this long (0 = wait forever)")
 	flag.Parse()
 
 	conn, err := net.Dial("tcp", *addr)
 	if err != nil {
 		log.Fatalf("avis-client: %v", err)
 	}
-	client, err := avis.NewRealClient(avis.Shape(conn, *bw), avis.Params{
+	shaped := avis.Shape(conn, *bw)
+	client, err := avis.NewRealClient(shaped, avis.Params{
 		DR: *dr, Codec: *codec, Level: *level,
 	})
 	if err != nil {
 		log.Fatalf("avis-client: %v", err)
 	}
+	client.SetIOTimeout(*ioTimeout)
+	if *metricsAddr != "" {
+		start := time.Now()
+		reg := metrics.New(metrics.WithNow(func() time.Duration { return time.Since(start) }))
+		client.EnableMetrics(reg)
+		msrv, err := metrics.Serve(*metricsAddr, reg)
+		if err != nil {
+			log.Fatalf("avis-client: %v", err)
+		}
+		fmt.Printf("metrics on http://%s/metrics\n", msrv.Addr)
+	}
 	defer client.Close()
 	if err := client.Connect(); err != nil {
-		log.Fatalf("avis-client: connect: %v", err)
+		fatalFetch("connect", err)
 	}
 	geom := client.Geometry()
 	fmt.Printf("connected: %d images, %d² pixels, %d levels\n",
@@ -59,7 +81,7 @@ func main() {
 		}
 		st, err := client.FetchImage(img, canvas)
 		if err != nil {
-			log.Fatalf("avis-client: fetch %d: %v", img, err)
+			fatalFetch(fmt.Sprintf("fetch %d", img), err)
 		}
 		fmt.Printf("%d\t%.3f\t%.3f\t%d\t%d\t%d\n",
 			img, st.TransmitTime.Seconds(), st.AvgResponse.Seconds(),
@@ -71,4 +93,15 @@ func main() {
 			fmt.Printf("  image %d reconstructed at level %d\n", img, *level)
 		}
 	}
+}
+
+// fatalFetch exits with a clean one-line diagnosis, distinguishing a dead
+// peer (typed I/O timeout) from protocol failures.
+func fatalFetch(op string, err error) {
+	var te *avis.TimeoutError
+	if errors.As(err, &te) {
+		log.Fatalf("avis-client: %s: server made no progress within %v (%s stalled) — is the peer alive? Raise -io-timeout for slow links.",
+			op, te.After, te.Op)
+	}
+	log.Fatalf("avis-client: %s: %v", op, err)
 }

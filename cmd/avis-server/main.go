@@ -2,9 +2,13 @@
 // it generates a synthetic image set, stores it as wavelet pyramids, and
 // answers progressive foveal requests with the codec each client announces.
 //
+// With -metrics-addr it also exposes live telemetry: /metrics serves the
+// avis_* metric families in Prometheus text exposition format (append
+// ?format=json for JSON) and /healthz answers liveness probes.
+//
 // Usage:
 //
-//	avis-server -addr :7465 -side 1024 -levels 4 -images 3
+//	avis-server -addr :7465 -side 1024 -levels 4 -images 3 -metrics-addr :9090
 package main
 
 import (
@@ -12,8 +16,10 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"time"
 
 	"tunable/internal/avis"
+	"tunable/internal/metrics"
 )
 
 func main() {
@@ -21,6 +27,8 @@ func main() {
 	side := flag.Int("side", 1024, "image side in pixels (divisible by 2^levels)")
 	levels := flag.Int("levels", 4, "wavelet decomposition depth")
 	images := flag.Int("images", 3, "number of synthetic images to serve")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /healthz on this address (empty = disabled)")
+	ioTimeout := flag.Duration("io-timeout", 0, "drop a connection whose frame I/O makes no progress for this long (0 = wait forever)")
 	flag.Parse()
 
 	seeds := make([]int64, *images)
@@ -30,6 +38,17 @@ func main() {
 	srv, err := avis.NewRealServer(*side, *levels, seeds, avis.SharedStore())
 	if err != nil {
 		log.Fatalf("avis-server: %v", err)
+	}
+	srv.SetIOTimeout(*ioTimeout)
+	if *metricsAddr != "" {
+		start := time.Now()
+		reg := metrics.New(metrics.WithNow(func() time.Duration { return time.Since(start) }))
+		srv.EnableMetrics(reg)
+		msrv, err := metrics.Serve(*metricsAddr, reg)
+		if err != nil {
+			log.Fatalf("avis-server: %v", err)
+		}
+		fmt.Printf("avis-server: metrics on http://%s/metrics\n", msrv.Addr)
 	}
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {

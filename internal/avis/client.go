@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"tunable/internal/compress"
+	"tunable/internal/metrics"
 	"tunable/internal/netem"
 	"tunable/internal/sandbox"
 	"tunable/internal/spec"
@@ -73,6 +74,15 @@ type Client struct {
 	maxRetries   int
 	retries      int64
 
+	// telemetry instruments; nil (no-op) unless EnableMetrics ran
+	mFetchSeconds *metrics.Histogram
+	mRoundSeconds *metrics.Histogram
+	mRawBytes     *metrics.Counter
+	mWireBytes    *metrics.Counter
+	mRounds       *metrics.Counter
+	mRetransmits  *metrics.Counter
+	mImages       *metrics.Counter
+
 	OnRound func(RoundStat)
 	OnImage func(ImageStat)
 
@@ -134,6 +144,21 @@ func NewClient(sb *sandbox.Sandbox, ep *netem.Endpoint, params Params, opts ...C
 		o(c)
 	}
 	return c, nil
+}
+
+// EnableMetrics instruments the client. Metric families:
+// avis_fetch_seconds (per-image download latency histogram),
+// avis_round_seconds (per-round response time), avis_raw_bytes_total,
+// avis_wire_bytes_total, avis_rounds_total, avis_retransmits_total, and
+// avis_images_total. Durations are virtual-time in simulated mode.
+func (c *Client) EnableMetrics(reg *metrics.Registry) {
+	c.mFetchSeconds = reg.Histogram("avis_fetch_seconds", "Per-image download latency.")
+	c.mRoundSeconds = reg.Histogram("avis_round_seconds", "Per-round response time.")
+	c.mRawBytes = reg.Counter("avis_raw_bytes_total", "Uncompressed payload bytes received.")
+	c.mWireBytes = reg.Counter("avis_wire_bytes_total", "Compressed bytes on the wire.")
+	c.mRounds = reg.Counter("avis_rounds_total", "Request/reply rounds completed.")
+	c.mRetransmits = reg.Counter("avis_retransmits_total", "Round retransmissions after stalls.")
+	c.mImages = reg.Counter("avis_images_total", "Images fully downloaded.")
 }
 
 // Params returns the currently active parameters.
@@ -284,6 +309,7 @@ func (c *Client) FetchImage(p *vtime.Proc, img int) (ImageStat, error) {
 			rawBytes, wireBytes, err = c.receiveRound(p, img, c.seq, canvas)
 			if errors.Is(err, errRoundStalled) && attempt < c.maxRetries {
 				c.retries++
+				c.mRetransmits.Inc()
 				continue
 			}
 			break
@@ -308,6 +334,10 @@ func (c *Client) FetchImage(p *vtime.Proc, img int) (ImageStat, error) {
 		respSum += t1 - t0
 		stat.RawBytes += int64(rawBytes)
 		round++
+		c.mRoundSeconds.Observe((t1 - t0).Seconds())
+		c.mRounds.Inc()
+		c.mRawBytes.Add(float64(rawBytes))
+		c.mWireBytes.Add(float64(wireBytes))
 		if c.OnRound != nil {
 			c.OnRound(RoundStat{
 				Image: img, Round: round, Start: t0,
@@ -336,6 +366,8 @@ func (c *Client) FetchImage(p *vtime.Proc, img int) (ImageStat, error) {
 		}
 		stat.PSNR = psnr
 	}
+	c.mFetchSeconds.Observe(stat.TransmitTime.Seconds())
+	c.mImages.Inc()
 	c.stats = append(c.stats, stat)
 	if c.OnImage != nil {
 		c.OnImage(stat)

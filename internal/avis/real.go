@@ -3,12 +3,14 @@ package avis
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"time"
 
 	"tunable/internal/compress"
+	"tunable/internal/metrics"
 	"tunable/internal/netem"
 	"tunable/internal/wavelet"
 )
@@ -23,6 +25,65 @@ import (
 // frameLimit bounds a single protocol frame (a frame carries at most one
 // reply segment plus headers).
 const frameLimit = 1 << 22
+
+// ErrIOTimeout is the sentinel matched by errors.Is for frame I/O that
+// missed its deadline; the concrete error is always a *TimeoutError.
+var ErrIOTimeout = errors.New("avis: i/o timeout")
+
+// TimeoutError reports that a frame read or write made no progress within
+// the configured I/O timeout — the peer is dead, wedged, or unreachable.
+// It implements net.Error's Timeout contract and matches ErrIOTimeout
+// under errors.Is.
+type TimeoutError struct {
+	Op    string        // "read" or "write"
+	After time.Duration // the deadline that expired
+}
+
+func (e *TimeoutError) Error() string {
+	return fmt.Sprintf("avis: %s frame: no progress within %v (dead peer?)", e.Op, e.After)
+}
+
+// Timeout reports true, satisfying the net.Error convention.
+func (e *TimeoutError) Timeout() bool { return true }
+
+// Is matches ErrIOTimeout.
+func (e *TimeoutError) Is(target error) bool { return target == ErrIOTimeout }
+
+// wrapTimeout converts a deadline-exceeded network error into a
+// *TimeoutError; other errors (including nil) pass through.
+func wrapTimeout(op string, after time.Duration, err error) error {
+	if err == nil {
+		return nil
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return &TimeoutError{Op: op, After: after}
+	}
+	return err
+}
+
+// deadlineRW adapts a net.Conn so every underlying read and write first
+// arms a fresh deadline: the connection must keep making progress at
+// timeout granularity, but an arbitrarily large transfer never trips the
+// limit as long as bytes keep flowing. A zero timeout disables arming.
+type deadlineRW struct {
+	conn    net.Conn
+	timeout time.Duration
+}
+
+func (d *deadlineRW) Read(p []byte) (int, error) {
+	if d.timeout > 0 {
+		_ = d.conn.SetReadDeadline(time.Now().Add(d.timeout))
+	}
+	return d.conn.Read(p)
+}
+
+func (d *deadlineRW) Write(p []byte) (int, error) {
+	if d.timeout > 0 {
+		_ = d.conn.SetWriteDeadline(time.Now().Add(d.timeout))
+	}
+	return d.conn.Write(p)
+}
 
 // writeFrame sends one length-prefixed protocol message.
 func writeFrame(w io.Writer, msg []byte) error {
@@ -54,10 +115,44 @@ func readFrame(r io.Reader) ([]byte, error) {
 
 // RealServer serves the visualization protocol over net.Conn connections.
 type RealServer struct {
-	geom     Geometry
-	seeds    []int64
-	store    *ImageStore
-	segBytes int
+	geom      Geometry
+	seeds     []int64
+	store     *ImageStore
+	segBytes  int
+	ioTimeout time.Duration
+
+	// telemetry instruments; nil (no-op) unless EnableMetrics ran
+	mConns       *metrics.Counter
+	mRequests    *metrics.Counter
+	mReqSeconds  *metrics.Histogram
+	mSentBytes   *metrics.Counter
+	mSegments    *metrics.Counter
+	mErrors      *metrics.Counter
+	mIOTimeouts  *metrics.Counter
+	mCodecSwitch *metrics.Counter
+}
+
+// SetIOTimeout bounds how long a frame read or write on a connection may
+// go without progress before the connection is dropped with a
+// *TimeoutError (0, the default, waits forever). It applies to
+// connections accepted after the call.
+func (s *RealServer) SetIOTimeout(d time.Duration) { s.ioTimeout = d }
+
+// EnableMetrics instruments the server. Metric families:
+// avis_connections_total, avis_requests_total, avis_request_seconds
+// (per-request serve latency), avis_sent_bytes_total (compressed bytes
+// written), avis_segments_total, avis_codec_switches_total,
+// avis_errors_total, and avis_io_timeouts_total.
+func (s *RealServer) EnableMetrics(reg *metrics.Registry) {
+	s.mConns = reg.Counter("avis_connections_total", "Client connections accepted.")
+	s.mRequests = reg.Counter("avis_requests_total", "Foveal region requests served.")
+	s.mReqSeconds = reg.Histogram("avis_request_seconds",
+		"Wall-clock latency of serving one region request (extract, encode, write).")
+	s.mSentBytes = reg.Counter("avis_sent_bytes_total", "Compressed reply bytes written.")
+	s.mSegments = reg.Counter("avis_segments_total", "Reply segments written.")
+	s.mCodecSwitch = reg.Counter("avis_codec_switches_total", "Codec change notifications honored.")
+	s.mErrors = reg.Counter("avis_errors_total", "Protocol or serve errors returned to clients.")
+	s.mIOTimeouts = reg.Counter("avis_io_timeouts_total", "Connections dropped on frame I/O timeout.")
 }
 
 // NewRealServer creates a server for the given synthetic image set.
@@ -93,14 +188,20 @@ func (s *RealServer) Serve(l net.Listener) error {
 
 // handle services one connection.
 func (s *RealServer) handle(conn net.Conn) error {
-	r := bufio.NewReaderSize(conn, 64<<10)
-	w := bufio.NewWriterSize(conn, 64<<10)
+	s.mConns.Inc()
+	rw := &deadlineRW{conn: conn, timeout: s.ioTimeout}
+	r := bufio.NewReaderSize(rw, 64<<10)
+	w := bufio.NewWriterSize(rw, 64<<10)
 	codec, _ := compress.Lookup("raw")
 	for {
 		msg, err := readFrame(r)
 		if err != nil {
 			if err == io.EOF {
 				return nil
+			}
+			err = wrapTimeout("read", s.ioTimeout, err)
+			if errors.Is(err, ErrIOTimeout) {
+				s.mIOTimeouts.Inc()
 			}
 			return err
 		}
@@ -115,43 +216,58 @@ func (s *RealServer) handle(conn net.Conn) error {
 		case tagNotify:
 			name, err := decodeNotify(msg)
 			if err != nil {
+				s.mErrors.Inc()
 				if werr := writeFrame(w, encodeError(err.Error())); werr != nil {
-					return werr
+					return wrapTimeout("write", s.ioTimeout, werr)
 				}
 				break
 			}
 			c, err := compress.Lookup(name)
 			if err != nil {
+				s.mErrors.Inc()
 				if werr := writeFrame(w, encodeError(err.Error())); werr != nil {
-					return werr
+					return wrapTimeout("write", s.ioTimeout, werr)
 				}
 				break
 			}
 			codec = c
+			s.mCodecSwitch.Inc()
 		case tagRequest:
 			req, err := decodeRequest(msg)
 			if err == nil {
 				err = s.serveReal(w, codec, req)
 			}
 			if err != nil {
+				if errors.Is(err, ErrIOTimeout) {
+					s.mIOTimeouts.Inc()
+					return err
+				}
+				s.mErrors.Inc()
 				if werr := writeFrame(w, encodeError(err.Error())); werr != nil {
-					return werr
+					return wrapTimeout("write", s.ioTimeout, werr)
 				}
 			}
 		case tagClose:
-			return w.Flush()
+			return wrapTimeout("write", s.ioTimeout, w.Flush())
 		default:
+			s.mErrors.Inc()
 			if err := writeFrame(w, encodeError("unknown message")); err != nil {
-				return err
+				return wrapTimeout("write", s.ioTimeout, err)
 			}
 		}
 		if err := w.Flush(); err != nil {
+			err = wrapTimeout("write", s.ioTimeout, err)
+			if errors.Is(err, ErrIOTimeout) {
+				s.mIOTimeouts.Inc()
+			}
 			return err
 		}
 	}
 }
 
 func (s *RealServer) serveReal(w io.Writer, codec compress.Codec, req Request) error {
+	start := time.Now()
+	s.mRequests.Inc()
 	if req.Image < 0 || req.Image >= len(s.seeds) {
 		return fmt.Errorf("image %d out of range", req.Image)
 	}
@@ -177,18 +293,22 @@ func (s *RealServer) serveReal(w io.Writer, codec compress.Codec, req Request) e
 		}
 		seg := Segment{Image: req.Image, Seq: req.Seq, Raw: rawShare, Last: end == total, Payload: enc[off:end]}
 		if err := writeFrame(w, encodeSegment(seg)); err != nil {
-			return err
+			return wrapTimeout("write", s.ioTimeout, err)
 		}
+		s.mSegments.Inc()
+		s.mSentBytes.Add(float64(end - off))
 		if end == total {
 			break
 		}
 	}
+	s.mReqSeconds.Observe(time.Since(start).Seconds())
 	return nil
 }
 
 // RealClient fetches images over a net.Conn using wall-clock timing.
 type RealClient struct {
 	conn   net.Conn
+	rw     *deadlineRW
 	r      *bufio.Reader
 	w      *bufio.Writer
 	geom   Geometry
@@ -196,6 +316,15 @@ type RealClient struct {
 	codec  compress.Codec
 	stats  []ImageStat
 	epoch  time.Time
+
+	// telemetry instruments; nil (no-op) unless EnableMetrics ran
+	mFetchSeconds *metrics.Histogram
+	mRoundSeconds *metrics.Histogram
+	mRawBytes     *metrics.Counter
+	mWireBytes    *metrics.Counter
+	mRounds       *metrics.Counter
+	mImages       *metrics.Counter
+	mIOTimeouts   *metrics.Counter
 }
 
 // NewRealClient wraps an established connection. Wrap conn in
@@ -205,25 +334,68 @@ func NewRealClient(conn net.Conn, params Params) (*RealClient, error) {
 	if err != nil {
 		return nil, err
 	}
+	rw := &deadlineRW{conn: conn}
 	return &RealClient{
 		conn:   conn,
-		r:      bufio.NewReaderSize(conn, 64<<10),
-		w:      bufio.NewWriterSize(conn, 64<<10),
+		rw:     rw,
+		r:      bufio.NewReaderSize(rw, 64<<10),
+		w:      bufio.NewWriterSize(rw, 64<<10),
 		params: params,
 		codec:  codec,
 		epoch:  time.Now(),
 	}, nil
 }
 
+// SetIOTimeout bounds how long any frame read or write may go without
+// progress before the call fails with a *TimeoutError instead of blocking
+// forever on a dead peer (0, the default, waits forever).
+func (c *RealClient) SetIOTimeout(d time.Duration) { c.rw.timeout = d }
+
+// EnableMetrics instruments the client. Metric families: avis_fetch_seconds
+// (per-image download latency), avis_round_seconds (per-round response
+// time), avis_raw_bytes_total, avis_wire_bytes_total, avis_rounds_total,
+// avis_images_total, and avis_io_timeouts_total.
+func (c *RealClient) EnableMetrics(reg *metrics.Registry) {
+	c.mFetchSeconds = reg.Histogram("avis_fetch_seconds", "Per-image download latency.")
+	c.mRoundSeconds = reg.Histogram("avis_round_seconds", "Per-round response time.")
+	c.mRawBytes = reg.Counter("avis_raw_bytes_total", "Uncompressed payload bytes received.")
+	c.mWireBytes = reg.Counter("avis_wire_bytes_total", "Compressed bytes on the wire.")
+	c.mRounds = reg.Counter("avis_rounds_total", "Request/reply rounds completed.")
+	c.mImages = reg.Counter("avis_images_total", "Images fully downloaded.")
+	c.mIOTimeouts = reg.Counter("avis_io_timeouts_total", "Frame reads/writes that missed the I/O deadline.")
+}
+
+// readFrameT reads one frame, converting a missed deadline into a typed
+// *TimeoutError.
+func (c *RealClient) readFrameT() ([]byte, error) {
+	msg, err := readFrame(c.r)
+	err = wrapTimeout("read", c.rw.timeout, err)
+	if errors.Is(err, ErrIOTimeout) {
+		c.mIOTimeouts.Inc()
+	}
+	return msg, err
+}
+
+// writeFrameT writes one frame and flushes, converting a missed deadline
+// into a typed *TimeoutError.
+func (c *RealClient) writeFrameT(msg []byte) error {
+	err := writeFrame(c.w, msg)
+	if err == nil {
+		err = c.w.Flush()
+	}
+	err = wrapTimeout("write", c.rw.timeout, err)
+	if errors.Is(err, ErrIOTimeout) {
+		c.mIOTimeouts.Inc()
+	}
+	return err
+}
+
 // Connect performs the handshake and codec announcement.
 func (c *RealClient) Connect() error {
-	if err := writeFrame(c.w, encodeHello()); err != nil {
+	if err := c.writeFrameT(encodeHello()); err != nil {
 		return err
 	}
-	if err := c.w.Flush(); err != nil {
-		return err
-	}
-	msg, err := readFrame(c.r)
+	msg, err := c.readFrameT()
 	if err != nil {
 		return err
 	}
@@ -244,10 +416,7 @@ func (c *RealClient) SetCodec(name string) error {
 	if err != nil {
 		return err
 	}
-	if err := writeFrame(c.w, encodeNotify(name)); err != nil {
-		return err
-	}
-	if err := c.w.Flush(); err != nil {
+	if err := c.writeFrameT(encodeNotify(name)); err != nil {
 		return err
 	}
 	c.codec = codec
@@ -272,9 +441,7 @@ func (c *RealClient) Stats() []ImageStat { return c.stats }
 
 // Close ends the session.
 func (c *RealClient) Close() error {
-	if err := writeFrame(c.w, encodeClose()); err == nil {
-		_ = c.w.Flush()
-	}
+	_ = c.writeFrameT(encodeClose())
 	return c.conn.Close()
 }
 
@@ -307,15 +474,12 @@ func (c *RealClient) FetchImage(img int, canvas *wavelet.Canvas) (ImageStat, err
 			continue
 		}
 		req := Request{Image: img, X: x, Y: y, R: fullR, PrevR: fullPrev, Level: level}
-		if err := writeFrame(c.w, encodeRequest(req)); err != nil {
-			return stat, err
-		}
-		if err := c.w.Flush(); err != nil {
+		if err := c.writeFrameT(encodeRequest(req)); err != nil {
 			return stat, err
 		}
 		var compressed []byte
 		for {
-			msg, err := readFrame(c.r)
+			msg, err := c.readFrameT()
 			if err != nil {
 				return stat, err
 			}
@@ -346,15 +510,22 @@ func (c *RealClient) FetchImage(img int, canvas *wavelet.Canvas) (ImageStat, err
 		}
 		stat.RawBytes += int64(len(data))
 		stat.WireBytes += int64(len(compressed))
+		c.mRawBytes.Add(float64(len(data)))
+		c.mWireBytes.Add(float64(len(compressed)))
 		prevR = r
 		rounds++
-		respSum += time.Since(t0)
+		c.mRounds.Inc()
+		roundTime := time.Since(t0)
+		c.mRoundSeconds.Observe(roundTime.Seconds())
+		respSum += roundTime
 	}
 	stat.TransmitTime = time.Since(start)
 	stat.Rounds = rounds
 	if rounds > 0 {
 		stat.AvgResponse = respSum / time.Duration(rounds)
 	}
+	c.mFetchSeconds.Observe(stat.TransmitTime.Seconds())
+	c.mImages.Inc()
 	c.stats = append(c.stats, stat)
 	return stat, nil
 }

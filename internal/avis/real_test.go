@@ -1,9 +1,12 @@
 package avis
 
 import (
+	"errors"
 	"net"
 	"testing"
+	"time"
 
+	"tunable/internal/metrics"
 	"tunable/internal/wavelet"
 )
 
@@ -165,5 +168,140 @@ func TestRealTCPShapedLink(t *testing.T) {
 	}
 	if Shape(nil, 0) != nil {
 		t.Fatal("Shape(0) must pass through")
+	}
+}
+
+// TestRealTCPIOTimeout connects to a listener that accepts and then never
+// speaks: the handshake read must fail with the typed timeout error rather
+// than hang.
+func TestRealTCPIOTimeout(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			defer conn.Close() // accept, then say nothing
+		}
+	}()
+
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewRealClient(conn, Params{DR: 64, Codec: "lzw", Level: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetIOTimeout(100 * time.Millisecond)
+
+	start := time.Now()
+	err = c.Connect()
+	if err == nil {
+		t.Fatal("Connect against a mute peer succeeded")
+	}
+	if !errors.Is(err, ErrIOTimeout) {
+		t.Fatalf("error %v does not match ErrIOTimeout", err)
+	}
+	var te *TimeoutError
+	if !errors.As(err, &te) {
+		t.Fatalf("error %v is not a *TimeoutError", err)
+	}
+	if !te.Timeout() {
+		t.Fatal("TimeoutError.Timeout() must report true")
+	}
+	if te.After != 100*time.Millisecond {
+		t.Fatalf("TimeoutError.After = %v, want 100ms", te.After)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("timeout took %v, deadline not armed", elapsed)
+	}
+}
+
+// TestRealTCPTimeoutAllowsProgress sets a short per-operation timeout and
+// verifies a full multi-round fetch still succeeds: the deadline is a
+// progress watchdog, re-armed on every read/write, not a whole-transfer cap.
+func TestRealTCPTimeoutAllowsProgress(t *testing.T) {
+	addr, stop := startRealServer(t)
+	defer stop()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewRealClient(conn, Params{DR: 64, Codec: "lzw", Level: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetIOTimeout(2 * time.Second)
+	if err := c.Connect(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.FetchImage(0, nil); err != nil {
+		t.Fatalf("fetch with progress deadline: %v", err)
+	}
+}
+
+// TestRealTCPMetrics runs an instrumented server/client pair through a
+// fetch and checks the avis_* families fill in on both sides.
+func TestRealTCPMetrics(t *testing.T) {
+	srv, err := NewRealServer(256, 4, []int64{1}, testStore)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sreg := metrics.New()
+	srv.EnableMetrics(sreg)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() { _ = srv.Serve(l) }()
+
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewRealClient(conn, Params{DR: 64, Codec: "lzw", Level: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	creg := metrics.New()
+	c.EnableMetrics(creg)
+	if err := c.Connect(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.FetchImage(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+
+	if got := creg.Counter("avis_images_total", "").Value(); got != 1 {
+		t.Errorf("client avis_images_total = %g, want 1", got)
+	}
+	if got := creg.Counter("avis_rounds_total", "").Value(); got != float64(st.Rounds) {
+		t.Errorf("client avis_rounds_total = %g, want %d", got, st.Rounds)
+	}
+	if got := creg.Counter("avis_wire_bytes_total", "").Value(); got != float64(st.WireBytes) {
+		t.Errorf("client avis_wire_bytes_total = %g, want %d", got, st.WireBytes)
+	}
+	if got := creg.Histogram("avis_fetch_seconds", "").Count(); got != 1 {
+		t.Errorf("client avis_fetch_seconds count = %d, want 1", got)
+	}
+	if got := sreg.Counter("avis_connections_total", "").Value(); got != 1 {
+		t.Errorf("server avis_connections_total = %g, want 1", got)
+	}
+	if got := sreg.Counter("avis_requests_total", "").Value(); got < float64(st.Rounds) {
+		t.Errorf("server avis_requests_total = %g, want ≥ %d", got, st.Rounds)
+	}
+	if got := sreg.Histogram("avis_request_seconds", "").Count(); got == 0 {
+		t.Error("server avis_request_seconds histogram empty")
 	}
 }

@@ -123,6 +123,9 @@ func TestFigure4b(t *testing.T) {
 }
 
 func TestFigure5(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow virtual-time experiment; run without -short for the full gate")
+	}
 	fa, err := Figure5a()
 	if err != nil {
 		t.Fatal(err)
@@ -174,6 +177,9 @@ func TestFigure5(t *testing.T) {
 }
 
 func TestFigure6a(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow virtual-time experiment; run without -short for the full gate")
+	}
 	fig, err := Figure6a()
 	if err != nil {
 		t.Fatal(err)
@@ -200,6 +206,9 @@ func TestFigure6a(t *testing.T) {
 }
 
 func TestFigure6b(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow virtual-time experiment; run without -short for the full gate")
+	}
 	fig, err := Figure6b()
 	if err != nil {
 		t.Fatal(err)
@@ -233,6 +242,9 @@ func TestFigure6b(t *testing.T) {
 }
 
 func TestExperiment1(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow virtual-time experiment; run without -short for the full gate")
+	}
 	e, err := Experiment1()
 	if err != nil {
 		t.Fatal(err)
@@ -272,6 +284,9 @@ func TestExperiment1(t *testing.T) {
 }
 
 func TestExperiment2(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow virtual-time experiment; run without -short for the full gate")
+	}
 	e, err := Experiment2()
 	if err != nil {
 		t.Fatal(err)
@@ -311,6 +326,9 @@ func TestExperiment2(t *testing.T) {
 }
 
 func TestExperiment3(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow virtual-time experiment; run without -short for the full gate")
+	}
 	e, err := Experiment3()
 	if err != nil {
 		t.Fatal(err)
@@ -356,6 +374,9 @@ func TestExperiment3(t *testing.T) {
 // The distributed-monitoring deployment must reach the same adaptation
 // outcome as the single-agent shortcut.
 func TestExperiment1Distributed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow virtual-time experiment; run without -short for the full gate")
+	}
 	e, err := Experiment1Distributed()
 	if err != nil {
 		t.Fatal(err)

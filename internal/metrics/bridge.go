@@ -1,0 +1,67 @@
+package metrics
+
+import (
+	"strings"
+	"time"
+
+	"tunable/internal/trace"
+)
+
+// Bridge down-converts a stream of registry snapshots into trace.Series so
+// the existing figure tooling (tables, summaries, cmd/avis-figures) keeps
+// working on top of live telemetry. Each Record call appends one point per
+// scalar metric: counters and gauges record their current value, and each
+// histogram expands into <name>.p50/.p95/.p99/.count series.
+//
+// The bridge carries no clock of its own: Record stamps points with the
+// instant it is given (sim time in virtual mode, time.Since(start) in real
+// mode), so a simulation process and a wall-clock ticker drive it the same
+// way.
+type Bridge struct {
+	reg *Registry
+	rec *trace.Recorder
+}
+
+// NewBridge connects a registry to a recorder.
+func NewBridge(reg *Registry, rec *trace.Recorder) *Bridge {
+	return &Bridge{reg: reg, rec: rec}
+}
+
+// seriesUnit guesses a display unit from metric naming conventions.
+func seriesUnit(name string) string {
+	switch {
+	case strings.Contains(name, "seconds"):
+		return "s"
+	case strings.Contains(name, "bytes"):
+		return "B"
+	case strings.HasSuffix(name, "_total"):
+		return "count"
+	}
+	return ""
+}
+
+// Record appends one sample per metric at the given instant.
+func (b *Bridge) Record(at time.Duration) {
+	if b == nil || b.reg == nil || b.rec == nil {
+		return
+	}
+	b.reg.each(func(m metric) {
+		id := m.describe().id()
+		unit := seriesUnit(m.describe().name)
+		switch v := m.(type) {
+		case *Counter:
+			b.rec.Series(id, unit).Add(at, v.Value())
+		case *Gauge:
+			b.rec.Series(id, unit).Add(at, v.Value())
+		case *Histogram:
+			s := v.Snapshot()
+			b.rec.Series(id+".p50", unit).Add(at, s.Quantile(0.50))
+			b.rec.Series(id+".p95", unit).Add(at, s.Quantile(0.95))
+			b.rec.Series(id+".p99", unit).Add(at, s.Quantile(0.99))
+			b.rec.Series(id+".count", "count").Add(at, float64(s.Count))
+		}
+	})
+}
+
+// Recorder returns the underlying trace recorder.
+func (b *Bridge) Recorder() *trace.Recorder { return b.rec }

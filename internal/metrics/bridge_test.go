@@ -1,0 +1,130 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"tunable/internal/trace"
+)
+
+func TestBridgeRecordsAllKinds(t *testing.T) {
+	r := New()
+	c := r.Counter("netem_bytes_shaped_total", "Bytes shaped.", L("dir", "fwd"))
+	g := r.Gauge("sandbox_cpu_share", "Share.")
+	h := r.Histogram("avis_fetch_seconds", "Fetch latency.")
+	c.Add(128)
+	g.Set(0.5)
+	h.Observe(0.25)
+	h.Observe(0.30)
+
+	rec := trace.NewRecorder()
+	b := NewBridge(r, rec)
+	b.Record(3 * time.Second)
+	b.Record(4 * time.Second)
+
+	cs, ok := rec.Get(`netem_bytes_shaped_total{dir="fwd"}`)
+	if !ok || cs.Len() != 2 {
+		t.Fatalf("counter series missing or wrong length: ok=%v", ok)
+	}
+	if pt, _ := cs.Last(); pt.V != 128 {
+		t.Errorf("counter bridged value = %g, want 128", pt.V)
+	}
+	gs, ok := rec.Get("sandbox_cpu_share")
+	if !ok {
+		t.Fatal("gauge series missing")
+	}
+	if pt, _ := gs.Last(); pt.V != 0.5 {
+		t.Errorf("gauge bridged value = %g, want 0.5", pt.V)
+	}
+	for _, name := range []string{
+		"avis_fetch_seconds.p50",
+		"avis_fetch_seconds.p95",
+		"avis_fetch_seconds.p99",
+		"avis_fetch_seconds.count",
+	} {
+		s, ok := rec.Get(name)
+		if !ok || s.Len() != 2 {
+			t.Fatalf("histogram series %q missing or wrong length", name)
+		}
+	}
+	cnt, _ := rec.Get("avis_fetch_seconds.count")
+	if pt, _ := cnt.Last(); pt.V != 2 {
+		t.Errorf("bridged histogram count = %g, want 2", pt.V)
+	}
+	p50, _ := rec.Get("avis_fetch_seconds.p50")
+	if pt, _ := p50.Last(); pt.V < 0.25 || math.IsInf(pt.V, 0) {
+		t.Errorf("bridged p50 = %g, want finite ≥ 0.25", pt.V)
+	}
+}
+
+func TestBridgeNilSafety(t *testing.T) {
+	var b *Bridge
+	b.Record(time.Second) // must not panic
+	NewBridge(nil, nil).Record(time.Second)
+	NewBridge(New(), nil).Record(time.Second)
+}
+
+// TestBridgeConcurrentWithInstruments drives the metrics→trace bridge from
+// one goroutine while others hammer the instruments — the -race proof that
+// trace.Series/Recorder Add and the bridge's snapshot reads are safe
+// together.
+func TestBridgeConcurrentWithInstruments(t *testing.T) {
+	r := New()
+	rec := trace.NewRecorder()
+	b := NewBridge(r, rec)
+
+	const (
+		writers = 4
+		iters   = 500
+		ticks   = 50
+	)
+	c := r.Counter("race_total", "Race counter.")
+	h := r.Histogram("race_seconds", "Race histogram.")
+	g := r.Gauge("race_gauge", "Race gauge.")
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				h.Observe(float64(i) * 1e-4)
+				g.Set(float64(i))
+				// Concurrent direct trace writes alongside bridge writes
+				// to the same recorder.
+				rec.Series("direct", "count").Add(time.Duration(i), float64(w))
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < ticks; i++ {
+			b.Record(time.Duration(i) * time.Millisecond)
+			rec.Names() // concurrent reader
+			if s, ok := rec.Get("race_total"); ok {
+				s.Samples()
+			}
+		}
+	}()
+	wg.Wait()
+	b.Record(time.Second) // final quiescent snapshot
+
+	s, ok := rec.Get("race_total")
+	if !ok || s.Len() != ticks+1 {
+		l := -1
+		if s != nil {
+			l = s.Len()
+		}
+		t.Fatalf("race_total series: ok=%v len=%d, want %d ticks", ok, l, ticks+1)
+	}
+	if pt, _ := s.Last(); pt.V != writers*iters {
+		t.Errorf("final bridged counter = %g, want %d", pt.V, writers*iters)
+	}
+	direct, _ := rec.Get("direct")
+	if direct.Len() != writers*iters {
+		t.Errorf("direct series len = %d, want %d", direct.Len(), writers*iters)
+	}
+}

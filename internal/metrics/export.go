@@ -1,0 +1,152 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4). Series sharing a metric name are
+// grouped into one family under a single HELP/TYPE header (the exposition
+// spec requires family samples to be contiguous); histograms expand into
+// cumulative _bucket series plus _sum and _count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	families := map[string][]metric{}
+	var order []string
+	r.each(func(m metric) {
+		name := m.describe().name
+		if _, ok := families[name]; !ok {
+			order = append(order, name)
+		}
+		families[name] = append(families[name], m)
+	})
+	var err error
+	emit := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	for _, name := range order {
+		fam := families[name]
+		d0 := fam[0].describe()
+		if d0.help != "" {
+			emit("# HELP %s %s\n", name, sanitizeHelp(d0.help))
+		}
+		emit("# TYPE %s %s\n", name, fam[0].kind())
+		for _, m := range fam {
+			d := m.describe()
+			switch v := m.(type) {
+			case *Counter:
+				emit("%s%s %s\n", name, d.labelString(), formatValue(v.Value()))
+			case *Gauge:
+				emit("%s%s %s\n", name, d.labelString(), formatValue(v.Value()))
+			case *Histogram:
+				s := v.Snapshot()
+				var cum uint64
+				for _, b := range s.Buckets {
+					cum += b.Count
+					emit("%s_bucket%s %d\n", name, labelsWithLE(d, b.Upper), cum)
+				}
+				emit("%s_bucket%s %d\n", name, labelsWithLE(d, math.Inf(1)), s.Count)
+				emit("%s_sum%s %s\n", name, d.labelString(), formatValue(s.Sum))
+				emit("%s_count%s %d\n", name, d.labelString(), s.Count)
+			}
+		}
+	}
+	return err
+}
+
+// sanitizeHelp escapes newlines and backslashes per the exposition spec.
+func sanitizeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// formatValue renders a sample value the way Prometheus expects.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// labelsWithLE renders the label set plus the le bound of a bucket series.
+func labelsWithLE(d *desc, upper float64) string {
+	le := formatValue(upper)
+	base := d.labelString()
+	if base == "" {
+		return `{le="` + le + `"}`
+	}
+	return base[:len(base)-1] + `,le="` + le + `"}`
+}
+
+// JSONMetric is one metric in the JSON snapshot.
+type JSONMetric struct {
+	Name   string            `json:"name"`
+	Kind   string            `json:"kind"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  float64           `json:"value,omitempty"` // counters and gauges
+	Count  uint64            `json:"count,omitempty"` // histograms
+	Sum    float64           `json:"sum,omitempty"`
+	P50    float64           `json:"p50,omitempty"`
+	P95    float64           `json:"p95,omitempty"`
+	P99    float64           `json:"p99,omitempty"`
+}
+
+// JSONSnapshot is the full JSON export.
+type JSONSnapshot struct {
+	AtSeconds float64      `json:"at_seconds"`
+	Metrics   []JSONMetric `json:"metrics"`
+}
+
+// SnapshotJSON captures every metric, with p50/p95/p99 summaries for
+// histograms, timestamped by the registry clock.
+func (r *Registry) SnapshotJSON() JSONSnapshot {
+	snap := JSONSnapshot{AtSeconds: r.Now().Seconds()}
+	r.each(func(m metric) {
+		d := m.describe()
+		jm := JSONMetric{Name: d.name, Kind: m.kind()}
+		if len(d.labels) > 0 {
+			jm.Labels = make(map[string]string, len(d.labels))
+			for _, l := range d.labels {
+				jm.Labels[l.Key] = l.Value
+			}
+		}
+		switch v := m.(type) {
+		case *Counter:
+			jm.Value = v.Value()
+		case *Gauge:
+			jm.Value = v.Value()
+		case *Histogram:
+			s := v.Snapshot()
+			jm.Count = s.Count
+			jm.Sum = s.Sum
+			jm.P50 = s.Quantile(0.50)
+			jm.P95 = s.Quantile(0.95)
+			jm.P99 = s.Quantile(0.99)
+		}
+		snap.Metrics = append(snap.Metrics, jm)
+	})
+	return snap
+}
+
+// WriteJSON renders the JSON snapshot.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	if r == nil {
+		_, err := io.WriteString(w, `{"metrics":[]}`)
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.SnapshotJSON())
+}

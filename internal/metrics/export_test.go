@@ -1,0 +1,122 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenRegistry builds a fully deterministic registry covering every
+// instrument kind, labels, family grouping, and histogram expansion.
+func goldenRegistry() *Registry {
+	r := New(WithNow(func() time.Duration { return 90 * time.Second }))
+	c1 := r.Counter("avis_rounds_total", "Request/response rounds completed.", L("client", "c1"))
+	g := r.Gauge("sandbox_cpu_share", "Reserved CPU share.", L("host", "h0"), L("sandbox", "viz"))
+	// Second series of an existing family, registered out of order: the
+	// exposition must still group it under the avis_rounds_total header.
+	c2 := r.Counter("avis_rounds_total", "Request/response rounds completed.", L("client", "c2"))
+	h := r.Histogram("avis_fetch_seconds", "Per-image fetch latency.")
+	plain := r.Counter("sched_selects_total", "Scheduler selections.")
+
+	c1.Add(7)
+	c2.Add(3)
+	g.Set(0.25)
+	plain.Inc()
+	for _, v := range []float64{0, -1, 0.0009, 0.004, 0.0041, 0.25, 1.5, 1e9} {
+		h.Observe(v)
+	}
+	return r
+}
+
+func TestWritePrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	golden := filepath.Join("testdata", "exposition.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to regenerate): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("exposition drifted from golden file.\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestPrometheusFamilyContiguity enforces the exposition-spec rule that
+// all samples of one metric family are contiguous, whatever the
+// registration interleaving.
+func TestPrometheusFamilyContiguity(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	last := ""
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name := line
+		if i := strings.IndexAny(line, "{ "); i >= 0 {
+			name = line[:i]
+		}
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			name = strings.TrimSuffix(name, suf)
+		}
+		if name != last {
+			if seen[name] {
+				t.Fatalf("family %q appears in two separate runs", name)
+			}
+			seen[name] = true
+			last = name
+		}
+	}
+}
+
+func TestSnapshotJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var snap JSONSnapshot
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatalf("JSON round-trip: %v", err)
+	}
+	if snap.AtSeconds != 90 {
+		t.Errorf("at_seconds = %g, want 90 (injected clock)", snap.AtSeconds)
+	}
+	byName := map[string][]JSONMetric{}
+	for _, m := range snap.Metrics {
+		byName[m.Name] = append(byName[m.Name], m)
+	}
+	if n := len(byName["avis_rounds_total"]); n != 2 {
+		t.Errorf("avis_rounds_total series = %d, want 2", n)
+	}
+	hs := byName["avis_fetch_seconds"]
+	if len(hs) != 1 {
+		t.Fatalf("avis_fetch_seconds series = %d, want 1", len(hs))
+	}
+	h := hs[0]
+	if h.Kind != "histogram" || h.Count != 8 {
+		t.Errorf("histogram export = %+v, want kind=histogram count=8", h)
+	}
+	if !(h.P50 <= h.P95 && h.P95 <= h.P99) {
+		t.Errorf("quantiles not monotone: %+v", h)
+	}
+}

@@ -1,0 +1,184 @@
+package metrics
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Histogram bucket geometry: values are bucketed logarithmically with
+// subBuckets buckets per power of two, spanning 2^histMinExp (≈1 µs when
+// observations are in seconds) to 2^histMaxExp (≈1 Mi-seconds). Values at
+// or below zero land in the dedicated zero bucket (negative observations
+// are clamped — latencies cannot be negative, but a skewed clock can
+// produce one); values beyond the top land in the overflow bucket, whose
+// upper bound exports as +Inf.
+const (
+	histMinExp = -20
+	histMaxExp = 20
+	subBuckets = 4
+	// numBuckets = zero bucket + log buckets + overflow bucket.
+	numBuckets = (histMaxExp-histMinExp)*subBuckets + 2
+)
+
+// Histogram is a fixed-geometry log-bucketed histogram. Observe is
+// lock-free and allocation-free; Snapshot and quantile estimation walk the
+// bucket array.
+type Histogram struct {
+	d       desc
+	counts  [numBuckets]atomic.Uint64
+	sumBits atomic.Uint64 // float64 bits of the running sum
+	count   atomic.Uint64
+}
+
+// bucketIndex maps a value to its bucket.
+func bucketIndex(v float64) int {
+	if v <= 0 || math.IsNaN(v) {
+		return 0
+	}
+	if math.IsInf(v, 1) {
+		return numBuckets - 1
+	}
+	frac, exp := math.Frexp(v) // v = frac * 2^exp, frac ∈ [0.5, 1)
+	oct := exp - 1 - histMinExp
+	if oct < 0 {
+		return 1 // underflow clamps into the smallest log bucket
+	}
+	sub := int((frac - 0.5) * 2 * subBuckets)
+	if sub >= subBuckets { // guard frac rounding up to 1.0
+		sub = subBuckets - 1
+	}
+	idx := oct*subBuckets + sub + 1
+	if idx > numBuckets-2 {
+		return numBuckets - 1 // overflow bucket
+	}
+	return idx
+}
+
+// bucketUpper returns the upper bound of bucket idx; +Inf for the
+// overflow bucket, 0 for the zero bucket. Log buckets are half-open
+// [upper(idx-1), upper(idx)): a value exactly at a bucket boundary counts
+// in the higher bucket, the usual convention for exponential histograms.
+func bucketUpper(idx int) float64 {
+	switch {
+	case idx <= 0:
+		return 0
+	case idx >= numBuckets-1:
+		return math.Inf(1)
+	}
+	oct := (idx - 1) / subBuckets
+	sub := (idx - 1) % subBuckets
+	return math.Ldexp(0.5+float64(sub+1)/(2*subBuckets), histMinExp+oct+1)
+}
+
+// Observe records one value. Negative and NaN values are clamped into the
+// zero bucket (and contribute 0 to the sum).
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	if v < 0 || math.IsNaN(v) {
+		v = 0
+	}
+	h.counts[bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Name returns the metric name (without labels).
+func (h *Histogram) Name() string {
+	if h == nil {
+		return ""
+	}
+	return h.d.name
+}
+
+// Bucket is one non-empty histogram bucket in a snapshot.
+type Bucket struct {
+	Upper float64 // inclusive upper bound; +Inf for overflow
+	Count uint64  // observations in this bucket (not cumulative)
+}
+
+// HistSnapshot is a point-in-time copy of a histogram.
+type HistSnapshot struct {
+	Count   uint64
+	Sum     float64
+	Buckets []Bucket // non-empty buckets in ascending bound order
+}
+
+// Snapshot copies the current state. The copy is not atomic with respect
+// to concurrent Observe calls, but every recorded observation appears in
+// at most one snapshot bucket.
+func (h *Histogram) Snapshot() HistSnapshot {
+	if h == nil {
+		return HistSnapshot{}
+	}
+	s := HistSnapshot{Count: h.count.Load(), Sum: h.Sum()}
+	for i := 0; i < numBuckets; i++ {
+		if n := h.counts[i].Load(); n > 0 {
+			s.Buckets = append(s.Buckets, Bucket{Upper: bucketUpper(i), Count: n})
+		}
+	}
+	return s
+}
+
+// Quantile estimates the q-th quantile (0 ≤ q ≤ 1) from the snapshot by
+// locating the bucket containing the target rank and returning its upper
+// bound (the overflow bucket reports the largest finite bound, so p99 of a
+// pathological distribution stays finite). Returns 0 for an empty
+// histogram.
+func (s HistSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Buckets) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(s.Count)))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i, b := range s.Buckets {
+		cum += b.Count
+		if cum >= rank {
+			if math.IsInf(b.Upper, 1) && i > 0 {
+				return s.Buckets[i-1].Upper
+			}
+			return b.Upper
+		}
+	}
+	last := s.Buckets[len(s.Buckets)-1]
+	return last.Upper
+}
+
+// Quantile is a convenience for Snapshot().Quantile(q).
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	return h.Snapshot().Quantile(q)
+}

@@ -1,0 +1,145 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBucketIndexEdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		v    float64
+		want int
+	}{
+		{"zero", 0, 0},
+		{"negative", -3.5, 0},
+		{"neg-inf", math.Inf(-1), 0},
+		{"nan", math.NaN(), 0},
+		{"underflow clamps to smallest log bucket", 1e-12, 1},
+		{"tiny but above floor", math.Ldexp(0.75, histMinExp), 1},
+		{"overflow", 1e12, numBuckets - 1},
+		{"pos-inf", math.Inf(1), numBuckets - 1},
+	}
+	for _, tc := range cases {
+		if got := bucketIndex(tc.v); got != tc.want {
+			t.Errorf("%s: bucketIndex(%v) = %d, want %d", tc.name, tc.v, got, tc.want)
+		}
+	}
+}
+
+// TestBucketBoundsInvariant sweeps the representable range and checks that
+// every value lands in a bucket whose half-open bounds contain it:
+// upper(idx-1) <= v < upper(idx) (boundary values count upward).
+func TestBucketBoundsInvariant(t *testing.T) {
+	for exp := histMinExp; exp < histMaxExp; exp++ {
+		for _, frac := range []float64{0.5, 0.56, 0.625, 0.74, 0.875, 0.9, 0.999} {
+			v := math.Ldexp(frac, exp+1)
+			idx := bucketIndex(v)
+			if idx <= 0 || idx >= numBuckets-1 {
+				t.Fatalf("bucketIndex(%g) = %d escaped the log range", v, idx)
+			}
+			if up := bucketUpper(idx); v >= up {
+				t.Errorf("value %g at or above its bucket upper %g (idx %d)", v, up, idx)
+			}
+			if lo := bucketUpper(idx - 1); idx > 1 && v < lo {
+				t.Errorf("value %g below previous bound %g (idx %d)", v, lo, idx)
+			}
+		}
+	}
+}
+
+func TestBucketUpperMonotonic(t *testing.T) {
+	prev := math.Inf(-1)
+	for i := 0; i < numBuckets; i++ {
+		up := bucketUpper(i)
+		if up <= prev {
+			t.Fatalf("bucketUpper(%d) = %g not above bucketUpper(%d) = %g", i, up, i-1, prev)
+		}
+		prev = up
+	}
+	if !math.IsInf(bucketUpper(numBuckets-1), 1) {
+		t.Fatalf("overflow bucket upper = %g, want +Inf", bucketUpper(numBuckets-1))
+	}
+}
+
+func TestHistogramObserveClamping(t *testing.T) {
+	var h Histogram
+	h.Observe(0)
+	h.Observe(-5)
+	h.Observe(math.NaN())
+	if got := h.Count(); got != 3 {
+		t.Fatalf("Count = %d, want 3", got)
+	}
+	if got := h.Sum(); got != 0 {
+		t.Fatalf("Sum = %g, want 0 (clamped observations contribute nothing)", got)
+	}
+	s := h.Snapshot()
+	if len(s.Buckets) != 1 || s.Buckets[0].Upper != 0 || s.Buckets[0].Count != 3 {
+		t.Fatalf("snapshot = %+v, want all 3 in the zero bucket", s.Buckets)
+	}
+}
+
+func TestHistogramOverflowBucket(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 99; i++ {
+		h.Observe(1.0)
+	}
+	h.Observe(1e12) // beyond 2^20: overflow
+	s := h.Snapshot()
+	last := s.Buckets[len(s.Buckets)-1]
+	if !math.IsInf(last.Upper, 1) || last.Count != 1 {
+		t.Fatalf("overflow bucket = %+v, want {+Inf 1}", last)
+	}
+	// p50 must resolve to the bucket containing 1.0 (bound within one
+	// sub-bucket of the true value)...
+	if p50 := s.Quantile(0.50); p50 < 1.0 || p50 > 1.25 {
+		t.Errorf("p50 = %g, want within (1.0, 1.25]", p50)
+	}
+	// ...and the top quantile, which lands in the overflow bucket, must
+	// stay finite by reporting the largest finite bound.
+	if p100 := s.Quantile(1.0); math.IsInf(p100, 1) {
+		t.Errorf("p100 = +Inf, want largest finite bound")
+	}
+}
+
+func TestQuantileEmptyAndClamp(t *testing.T) {
+	var h Histogram
+	if got := h.Quantile(0.99); got != 0 {
+		t.Fatalf("quantile of empty histogram = %g, want 0", got)
+	}
+	h.Observe(2.0)
+	if lo, hi := h.Quantile(-1), h.Quantile(2); lo != hi {
+		t.Fatalf("out-of-range q not clamped: q=-1 → %g, q=2 → %g", lo, hi)
+	}
+}
+
+func TestQuantileOrdering(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 1000; i++ {
+		h.Observe(float64(i) / 100) // 0.01 .. 10.0
+	}
+	s := h.Snapshot()
+	p50, p95, p99 := s.Quantile(0.50), s.Quantile(0.95), s.Quantile(0.99)
+	if !(p50 <= p95 && p95 <= p99) {
+		t.Fatalf("quantiles not monotone: p50=%g p95=%g p99=%g", p50, p95, p99)
+	}
+	// Log bucketing with 4 sub-buckets per octave bounds relative error
+	// by ~25%: the reported bound brackets the true quantile from above.
+	if p50 < 5.0 || p50 > 6.3 {
+		t.Errorf("p50 = %g, want ≈5 within one bucket width", p50)
+	}
+	if p99 < 9.9 || p99 > 12.5 {
+		t.Errorf("p99 = %g, want ≈9.9 within one bucket width", p99)
+	}
+}
+
+func TestNilHistogramIsNoOp(t *testing.T) {
+	var h *Histogram
+	h.Observe(1) // must not panic
+	if h.Count() != 0 || h.Sum() != 0 || h.Quantile(0.5) != 0 || h.Name() != "" {
+		t.Fatal("nil histogram accessors must return zero values")
+	}
+	if s := h.Snapshot(); s.Count != 0 || len(s.Buckets) != 0 {
+		t.Fatal("nil histogram snapshot must be empty")
+	}
+}

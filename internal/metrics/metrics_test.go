@@ -1,0 +1,178 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterAddAndValue(t *testing.T) {
+	r := New()
+	c := r.Counter("requests_total", "Requests.")
+	c.Inc()
+	c.Add(2.5)
+	c.Add(-7) // negative deltas ignored: counters are monotonic
+	c.Add(0)
+	if got := c.Value(); got != 3.5 {
+		t.Fatalf("Value = %g, want 3.5", got)
+	}
+	if c.Name() != "requests_total" {
+		t.Fatalf("Name = %q", c.Name())
+	}
+}
+
+func TestGaugeSetAddValue(t *testing.T) {
+	r := New()
+	g := r.Gauge("share", "CPU share.")
+	g.Set(0.5)
+	g.Add(0.25)
+	g.Add(-0.5)
+	if got := g.Value(); got != 0.25 {
+		t.Fatalf("Value = %g, want 0.25", got)
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := New()
+	a := r.Counter("x_total", "X.", L("host", "h1"))
+	b := r.Counter("x_total", "X.", L("host", "h1"))
+	if a != b {
+		t.Fatal("same name+labels must return the same instrument")
+	}
+	c := r.Counter("x_total", "X.", L("host", "h2"))
+	if a == c {
+		t.Fatal("different labels must create a distinct series")
+	}
+	a.Inc()
+	if b.Value() != 1 || c.Value() != 0 {
+		t.Fatalf("series not isolated: b=%g c=%g", b.Value(), c.Value())
+	}
+}
+
+func TestRegistryKindClashPanics(t *testing.T) {
+	r := New()
+	r.Counter("thing", "A counter.")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge must panic")
+		}
+	}()
+	r.Gauge("thing", "Now a gauge?!")
+}
+
+func TestNilRegistryAndInstruments(t *testing.T) {
+	var r *Registry
+	c := r.Counter("a_total", "A.")
+	g := r.Gauge("b", "B.")
+	h := r.Histogram("c_seconds", "C.")
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry must hand out nil instruments")
+	}
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1) // none may panic
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 {
+		t.Fatal("nil instruments must read as zero")
+	}
+	if r.Now() != 0 {
+		t.Fatal("nil registry Now must be 0")
+	}
+	if err := r.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Fatalf("nil registry WritePrometheus: %v", err)
+	}
+}
+
+func TestWithNowInjectedClock(t *testing.T) {
+	var virtual time.Duration = 42 * time.Second
+	r := New(WithNow(func() time.Duration { return virtual }))
+	if r.Now() != 42*time.Second {
+		t.Fatalf("Now = %v, want 42s", r.Now())
+	}
+	virtual = time.Minute
+	if r.Now() != time.Minute {
+		t.Fatalf("Now = %v, want 1m after clock advance", r.Now())
+	}
+}
+
+// TestRegistryConcurrency hammers one registry from many goroutines doing
+// mixed register-and-update work; run with -race.
+func TestRegistryConcurrency(t *testing.T) {
+	r := New()
+	const (
+		workers = 8
+		iters   = 2000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				r.Counter("shared_total", "Shared counter.").Inc()
+				r.Gauge("shared_gauge", "Shared gauge.").Set(float64(i))
+				r.Histogram("shared_seconds", "Shared histogram.").Observe(float64(i) * 1e-3)
+				// A per-worker series exercises concurrent registration.
+				r.Counter("worker_total", "Per-worker.", L("w", string(rune('a'+w)))).Inc()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counter("shared_total", "").Value(); got != workers*iters {
+		t.Fatalf("shared_total = %g, want %d", got, workers*iters)
+	}
+	if got := r.Histogram("shared_seconds", "").Count(); got != workers*iters {
+		t.Fatalf("shared_seconds count = %d, want %d", got, workers*iters)
+	}
+	for w := 0; w < workers; w++ {
+		c := r.Counter("worker_total", "", L("w", string(rune('a'+w))))
+		if c.Value() != iters {
+			t.Fatalf("worker %d counter = %g, want %d", w, c.Value(), iters)
+		}
+	}
+}
+
+// TestHotPathAllocationFree pins the acceptance criterion that the
+// instrument hot paths allocate nothing.
+func TestHotPathAllocationFree(t *testing.T) {
+	r := New()
+	c := r.Counter("allocs_total", "A.")
+	g := r.Gauge("allocs_gauge", "A.")
+	h := r.Histogram("allocs_seconds", "A.")
+	if n := testing.AllocsPerRun(1000, func() { c.Add(1.5) }); n != 0 {
+		t.Errorf("Counter.Add allocates %v per op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { g.Set(2) }); n != 0 {
+		t.Errorf("Gauge.Set allocates %v per op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { g.Add(1) }); n != 0 {
+		t.Errorf("Gauge.Add allocates %v per op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { h.Observe(0.003) }); n != 0 {
+		t.Errorf("Histogram.Observe allocates %v per op, want 0", n)
+	}
+}
+
+func BenchmarkCounterAdd(b *testing.B) {
+	r := New()
+	c := r.Counter("bench_total", "B.")
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	r := New()
+	h := r.Histogram("bench_seconds", "B.")
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			h.Observe(0.0042)
+		}
+	})
+}

@@ -13,6 +13,7 @@ import (
 	"math"
 	"time"
 
+	"tunable/internal/metrics"
 	"tunable/internal/resource"
 	"tunable/internal/vtime"
 )
@@ -111,6 +112,13 @@ type Agent struct {
 
 	stop    *vtime.Event
 	samples int64
+
+	// telemetry instruments; nil (no-op) unless EnableMetrics ran
+	reg        *metrics.Registry
+	mSamples   *metrics.Counter
+	mTriggers  *metrics.Counter
+	mOutOfBand *metrics.Histogram
+	mEstimates map[string]*metrics.Gauge
 }
 
 // Option customizes an Agent.
@@ -180,6 +188,36 @@ func New(sim *vtime.Sim, name string, opts ...Option) *Agent {
 		o(a)
 	}
 	return a
+}
+
+// EnableMetrics instruments the agent. Metric families (all labelled by
+// agent): monitor_samples_total, monitor_triggers_total,
+// monitor_out_of_band_error (distance of a triggering estimate beyond its
+// validity band, i.e. how wrong the active configuration's assumption had
+// become before detection), and monitor_estimate gauges per probed
+// component.resource key.
+func (a *Agent) EnableMetrics(reg *metrics.Registry) {
+	a.reg = reg
+	lbl := metrics.L("agent", a.name)
+	a.mSamples = reg.Counter("monitor_samples_total", "Sampling rounds completed.", lbl)
+	a.mTriggers = reg.Counter("monitor_triggers_total", "Out-of-range triggers fired.", lbl)
+	a.mOutOfBand = reg.Histogram("monitor_out_of_band_error",
+		"Distance of a triggering estimate beyond its validity band.", lbl)
+	a.mEstimates = make(map[string]*metrics.Gauge)
+}
+
+// estimateGauge returns (lazily creating) the gauge for one probe key.
+func (a *Agent) estimateGauge(key string) *metrics.Gauge {
+	if a.reg == nil {
+		return nil
+	}
+	if g, ok := a.mEstimates[key]; ok {
+		return g
+	}
+	g := a.reg.Gauge("monitor_estimate", "Smoothed resource-availability estimate.",
+		metrics.L("agent", a.name), metrics.L("key", key))
+	a.mEstimates[key] = g
+	return g
 }
 
 // Name returns the agent name.
@@ -275,6 +313,7 @@ func (a *Agent) RunOnce(now time.Duration) { a.round(now) }
 
 func (a *Agent) round(now time.Duration) {
 	a.samples++
+	a.mSamples.Inc()
 	for _, pr := range a.probes {
 		v, ok := pr.Sample(now)
 		if !ok {
@@ -310,6 +349,7 @@ func (a *Agent) round(now time.Duration) {
 			a.estimates[comp] = resource.Vector{}
 		}
 		a.estimates[comp][pr.Kind()] = est
+		a.estimateGauge(key).Set(est)
 		a.checkRange(now, comp, pr.Kind(), est)
 	}
 }
@@ -333,6 +373,15 @@ func (a *Agent) checkRange(now time.Duration, comp string, kind resource.Kind, e
 	}
 	r.count = 0
 	trig := Trigger{At: now, Component: comp, Kind: kind, Value: est, Lo: r.lo, Hi: r.hi}
+	a.mTriggers.Inc()
+	if a.mOutOfBand != nil {
+		switch {
+		case est < r.lo:
+			a.mOutOfBand.Observe(r.lo - est)
+		case est > r.hi:
+			a.mOutOfBand.Observe(est - r.hi)
+		}
+	}
 	// Non-blocking: if the scheduler is behind, the newest trigger matters
 	// no more than the one already queued.
 	a.triggers.TrySend(trig)

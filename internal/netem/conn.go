@@ -4,6 +4,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"tunable/internal/metrics"
 )
 
 // ShapedConn wraps a real net.Conn with token-bucket bandwidth shaping, the
@@ -18,6 +20,20 @@ type ShapedConn struct {
 	burst  float64 // bucket capacity in bytes
 	tokens float64
 	last   time.Time
+
+	// telemetry instruments; nil (no-op) unless EnableMetrics ran
+	mBytesShaped   *metrics.Counter
+	mThrottleWaits *metrics.Counter
+}
+
+// EnableMetrics instruments the connection: netem_conn_bytes_shaped_total
+// counts bytes admitted through the token bucket and
+// netem_conn_throttle_waits_total counts the sleeps the bucket imposed.
+func (c *ShapedConn) EnableMetrics(reg *metrics.Registry) {
+	c.mBytesShaped = reg.Counter("netem_conn_bytes_shaped_total",
+		"Bytes written through the token-bucket shaper.")
+	c.mThrottleWaits = reg.Counter("netem_conn_throttle_waits_total",
+		"Times a write slept waiting for shaping tokens.")
 }
 
 // NewShapedConn wraps conn with a bandwidth limit in bytes/second. A zero
@@ -96,6 +112,7 @@ func (c *ShapedConn) take(n int) {
 		if wait < time.Millisecond {
 			wait = time.Millisecond
 		}
+		c.mThrottleWaits.Inc()
 		time.Sleep(wait)
 	}
 }
@@ -111,6 +128,7 @@ func (c *ShapedConn) Write(b []byte) (int, error) {
 		c.take(end - written)
 		n, err := c.Conn.Write(b[written:end])
 		written += n
+		c.mBytesShaped.Add(float64(n))
 		if err != nil {
 			return written, err
 		}

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"time"
 
+	"tunable/internal/metrics"
 	"tunable/internal/vtime"
 )
 
@@ -54,6 +55,13 @@ type direction struct {
 	busyUntil time.Duration
 	inbox     *vtime.Chan[Message]
 	ctr       Counters
+
+	// telemetry instruments; nil (no-op) unless Link.EnableMetrics ran
+	mBytesShaped  *metrics.Counter
+	mBytesDropped *metrics.Counter
+	mMsgsDropped  *metrics.Counter
+	mQueueDelay   *metrics.Histogram
+	mBandwidth    *metrics.Gauge
 }
 
 // Link is a duplex point-to-point link between two endpoints, A and B.
@@ -97,6 +105,29 @@ func NewLink(sim *vtime.Sim, name string, bandwidth float64, opts ...LinkOption)
 	return l
 }
 
+// EnableMetrics instruments both directions of the link. Metric families:
+// netem_bytes_shaped_total (bytes serialized onto the wire, including
+// later-dropped ones), netem_bytes_dropped_total, netem_msgs_dropped_total,
+// netem_queue_delay_seconds (time a sender spent serializing and queueing
+// behind earlier traffic per message), and netem_bandwidth_bytes_per_sec,
+// all labelled by link direction.
+func (l *Link) EnableMetrics(reg *metrics.Registry) {
+	for _, d := range []*direction{l.ab, l.ba} {
+		lbl := metrics.L("dir", d.name)
+		d.mBytesShaped = reg.Counter("netem_bytes_shaped_total",
+			"Bytes serialized onto the link.", lbl)
+		d.mBytesDropped = reg.Counter("netem_bytes_dropped_total",
+			"Bytes lost to link loss or a closed peer.", lbl)
+		d.mMsgsDropped = reg.Counter("netem_msgs_dropped_total",
+			"Messages lost to link loss or a closed peer.", lbl)
+		d.mQueueDelay = reg.Histogram("netem_queue_delay_seconds",
+			"Per-message time spent serializing and queueing.", lbl)
+		d.mBandwidth = reg.Gauge("netem_bandwidth_bytes_per_sec",
+			"Configured link bandwidth.", lbl)
+		d.mBandwidth.Set(d.bandwidth)
+	}
+}
+
 // Name returns the link name.
 func (l *Link) Name() string { return l.name }
 
@@ -114,6 +145,8 @@ func (l *Link) SetBandwidth(bps float64) error {
 	}
 	l.ab.bandwidth = bps
 	l.ba.bandwidth = bps
+	l.ab.mBandwidth.Set(bps)
+	l.ba.mBandwidth.Set(bps)
 	return nil
 }
 
@@ -162,9 +195,13 @@ func (e *Endpoint) Send(p *vtime.Proc, payload []byte) {
 	d.ctr.SendBusy += p.Now() - start
 	d.ctr.BytesSent += int64(len(payload))
 	d.ctr.MsgsSent++
+	d.mBytesShaped.Add(float64(len(payload)))
+	d.mQueueDelay.Observe((p.Now() - start).Seconds())
 	if d.lossRate > 0 && d.rng.float64() < d.lossRate {
 		d.ctr.BytesDropped += int64(len(payload))
 		d.ctr.MsgsDropped++
+		d.mBytesDropped.Add(float64(len(payload)))
+		d.mMsgsDropped.Inc()
 		return
 	}
 	msg := Message{Payload: payload, SentAt: p.Now()}
@@ -174,6 +211,8 @@ func (e *Endpoint) Send(p *vtime.Proc, payload []byte) {
 		if d.inbox.Closed() {
 			d.ctr.BytesDropped += int64(len(msg.Payload))
 			d.ctr.MsgsDropped++
+			d.mBytesDropped.Add(float64(len(msg.Payload)))
+			d.mMsgsDropped.Inc()
 			return
 		}
 		if !d.inbox.TrySend(msg) {

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"time"
 
+	"tunable/internal/metrics"
 	"tunable/internal/vtime"
 )
 
@@ -44,6 +45,9 @@ type Host struct {
 	memResv  int64
 	boxes    map[string]*Sandbox
 	rng      *prng
+
+	reg           *metrics.Registry
+	reservedGauge *metrics.Gauge
 }
 
 // HostOption customizes host construction.
@@ -72,6 +76,19 @@ func NewHost(sim *vtime.Sim, name string, speedHz float64, opts ...HostOption) *
 		o(h)
 	}
 	return h
+}
+
+// EnableMetrics instruments the host and every sandbox subsequently
+// created on it. Metric families: sandbox_cpu_seconds_total,
+// sandbox_compute_ops_total, sandbox_throttle_quanta_total,
+// sandbox_page_faults_total, sandbox_cpu_share, sandbox_mem_used_bytes,
+// all labelled by sandbox (and host); plus sandbox_reserved_share per
+// host. Call before NewSandbox; existing sandboxes stay uninstrumented.
+func (h *Host) EnableMetrics(reg *metrics.Registry) {
+	h.reg = reg
+	h.reservedGauge = reg.Gauge("sandbox_reserved_share",
+		"Aggregate CPU share reserved on the host.", metrics.L("host", h.name))
+	h.reservedGauge.Set(h.reserved)
 }
 
 // Name returns the host's name.
@@ -121,11 +138,28 @@ func (h *Host) NewSandbox(name string, share float64, memLimit int64) (*Sandbox,
 		memLimit:    memLimit,
 		memExplicit: memExplicit,
 	}
+	if h.reg != nil {
+		lbls := []metrics.Label{metrics.L("host", h.name), metrics.L("sandbox", name)}
+		sb.mCPUSeconds = h.reg.Counter("sandbox_cpu_seconds_total",
+			"CPU-seconds actually received (cycles at full machine speed).", lbls...)
+		sb.mComputeOps = h.reg.Counter("sandbox_compute_ops_total",
+			"Completed Compute calls.", lbls...)
+		sb.mThrottleQuanta = h.reg.Counter("sandbox_throttle_quanta_total",
+			"Full metering quanta consumed while demand exceeded the share.", lbls...)
+		sb.mFaults = h.reg.Counter("sandbox_page_faults_total",
+			"Simulated page faults beyond the physical memory limit.", lbls...)
+		sb.mShare = h.reg.Gauge("sandbox_cpu_share",
+			"Currently configured CPU share.", lbls...)
+		sb.mMemUsed = h.reg.Gauge("sandbox_mem_used_bytes",
+			"Currently allocated bytes.", lbls...)
+		sb.mShare.Set(share)
+	}
 	h.reserved += share
 	if memExplicit {
 		h.memResv += memLimit
 	}
 	h.boxes[name] = sb
+	h.reservedGauge.Set(h.reserved)
 	return sb, nil
 }
 
@@ -139,6 +173,7 @@ func (h *Host) Release(sb *Sandbox) {
 	if sb.memExplicit {
 		h.memResv -= sb.memLimit
 	}
+	h.reservedGauge.Set(h.reserved)
 }
 
 // Sandbox is a resource-constrained execution environment for one
@@ -157,6 +192,15 @@ type Sandbox struct {
 	activeTime time.Duration // virtual time spent inside Compute
 	faults     int64         // page faults simulated
 	computeOps int64
+
+	// telemetry instruments; nil (no-op) unless Host.EnableMetrics ran
+	// before this sandbox was created
+	mCPUSeconds     *metrics.Counter
+	mComputeOps     *metrics.Counter
+	mThrottleQuanta *metrics.Counter
+	mFaults         *metrics.Counter
+	mShare          *metrics.Gauge
+	mMemUsed        *metrics.Gauge
 }
 
 // Name returns the sandbox name.
@@ -180,6 +224,8 @@ func (sb *Sandbox) SetCPUShare(share float64) error {
 	}
 	sb.host.reserved += share - sb.share
 	sb.share = share
+	sb.mShare.Set(share)
+	sb.host.reservedGauge.Set(sb.host.reserved)
 	return nil
 }
 
@@ -247,10 +293,16 @@ func (sb *Sandbox) Compute(p *vtime.Proc, cycles float64) {
 		p.Sleep(dt)
 		cycles -= used
 		sb.activeTime += dt
+		if dt == Quantum {
+			sb.mThrottleQuanta.Inc()
+		}
 		// CPU-seconds received = cycles consumed at full machine speed.
-		sb.cpuTime += time.Duration(used / sb.host.speed * float64(time.Second))
+		cpu := time.Duration(used / sb.host.speed * float64(time.Second))
+		sb.cpuTime += cpu
+		sb.mCPUSeconds.Add(cpu.Seconds())
 	}
 	sb.computeOps++
+	sb.mComputeOps.Inc()
 }
 
 // CPUTime returns cumulative CPU-seconds received, the counter the paper's
@@ -277,6 +329,7 @@ func (sb *Sandbox) Alloc(n int64) {
 		panic("sandbox: negative allocation")
 	}
 	sb.memUsed += n
+	sb.mMemUsed.Set(float64(sb.memUsed))
 }
 
 // Free releases n bytes.
@@ -285,6 +338,7 @@ func (sb *Sandbox) Free(n int64) {
 	if sb.memUsed < 0 {
 		sb.memUsed = 0
 	}
+	sb.mMemUsed.Set(float64(sb.memUsed))
 }
 
 // pageSize is the fault-accounting granularity.
@@ -309,6 +363,7 @@ func (sb *Sandbox) Touch(p *vtime.Proc, n int64) {
 		return
 	}
 	sb.faults += faulting
+	sb.mFaults.Add(float64(faulting))
 	sb.Compute(p, float64(faulting)*faultCycles)
 }
 

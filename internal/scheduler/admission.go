@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"tunable/internal/metrics"
 	"tunable/internal/resource"
 	"tunable/internal/sandbox"
 )
@@ -20,11 +21,24 @@ import (
 // the application its policing sandboxes and releases them on teardown.
 type Admission struct {
 	hosts map[string]*sandbox.Host
+
+	// telemetry instruments; nil (no-op) unless EnableMetrics ran
+	mAccepted *metrics.Counter
+	mRejected *metrics.Counter
 }
 
 // NewAdmission creates an empty manager.
 func NewAdmission() *Admission {
 	return &Admission{hosts: make(map[string]*sandbox.Host)}
+}
+
+// EnableMetrics instruments admission control with
+// sched_admission_accepted_total and sched_admission_rejected_total.
+func (a *Admission) EnableMetrics(reg *metrics.Registry) {
+	a.mAccepted = reg.Counter("sched_admission_accepted_total",
+		"Reservations admitted in full.")
+	a.mRejected = reg.Counter("sched_admission_rejected_total",
+		"Reservations rejected (and rolled back).")
 }
 
 // AddHost registers a host under its name.
@@ -105,22 +119,26 @@ func (a *Admission) Reserve(name string, requests map[string]resource.Vector) (*
 		host, ok := a.hosts[comp]
 		if !ok {
 			r.Release()
+			a.mRejected.Inc()
 			return nil, fmt.Errorf("scheduler: no host %q registered", comp)
 		}
 		share := want.Get(resource.CPU, 0)
 		if share <= 0 {
 			r.Release()
+			a.mRejected.Inc()
 			return nil, fmt.Errorf("scheduler: component %q requests no CPU", comp)
 		}
 		mem := int64(want.Get(resource.Memory, 0))
 		sb, err := host.NewSandbox(name+"@"+comp, share, mem)
 		if err != nil {
 			r.Release()
+			a.mRejected.Inc()
 			return nil, fmt.Errorf("scheduler: admission failed for %q: %w", comp, err)
 		}
 		r.admitted = append(r.admitted, sb)
 		r.byComp[comp] = sb
 	}
+	a.mAccepted.Inc()
 	return r, nil
 }
 

@@ -14,7 +14,9 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
+	"tunable/internal/metrics"
 	"tunable/internal/perfdb"
 	"tunable/internal/resource"
 	"tunable/internal/spec"
@@ -73,6 +75,31 @@ type Scheduler struct {
 	db    *perfdb.DB
 	prefs []Preference
 	cands []spec.Config
+
+	// telemetry instruments; nil (no-op) unless EnableMetrics ran
+	mDecisionLatency *metrics.Histogram
+	mSelects         *metrics.Counter
+	mNoFeasible      *metrics.Counter
+	mPruned          *metrics.Counter
+	mCandidates      *metrics.Gauge
+}
+
+// EnableMetrics instruments the scheduler. Metric families:
+// sched_decision_seconds (wall-clock latency of Select — the scheduler's
+// own compute cost, meaningful even under virtual time),
+// sched_selects_total, sched_no_feasible_total,
+// sched_candidates_pruned_total (candidates rejected by constraint pruning
+// per decision), and sched_candidates.
+func (s *Scheduler) EnableMetrics(reg *metrics.Registry) {
+	s.mDecisionLatency = reg.Histogram("sched_decision_seconds",
+		"Wall-clock latency of one scheduling decision.")
+	s.mSelects = reg.Counter("sched_selects_total", "Scheduling decisions attempted.")
+	s.mNoFeasible = reg.Counter("sched_no_feasible_total",
+		"Decisions where no configuration satisfied any preference.")
+	s.mPruned = reg.Counter("sched_candidates_pruned_total",
+		"Candidate configurations rejected during constraint pruning.")
+	s.mCandidates = reg.Gauge("sched_candidates", "Size of the candidate set.")
+	s.mCandidates.Set(float64(len(s.cands)))
 }
 
 // New creates a scheduler. Candidates default to the configurations
@@ -117,8 +144,11 @@ func (s *Scheduler) Preferences() []Preference { return s.prefs }
 // Select picks the configuration best satisfying the highest-priority
 // feasible preference under resource conditions res.
 func (s *Scheduler) Select(res resource.Vector) (Decision, error) {
+	start := time.Now()
+	s.mSelects.Inc()
 	for pi, pref := range s.prefs {
-		best, bestM, found := s.selectForPref(pref, res)
+		best, bestM, pruned, found := s.selectForPref(pref, res)
+		s.mPruned.Add(float64(pruned))
 		if !found {
 			continue
 		}
@@ -129,14 +159,18 @@ func (s *Scheduler) Select(res resource.Vector) (Decision, error) {
 			PrefName:    pref.Name,
 			ValidRanges: s.validRanges(best, pref, res),
 		}
+		s.mDecisionLatency.Observe(time.Since(start).Seconds())
 		return d, nil
 	}
+	s.mNoFeasible.Inc()
+	s.mDecisionLatency.Observe(time.Since(start).Seconds())
 	return Decision{}, ErrNoFeasible
 }
 
 // selectForPref evaluates one preference: prune by constraints, optimize
-// the objective, break ties deterministically by configuration key.
-func (s *Scheduler) selectForPref(pref Preference, res resource.Vector) (spec.Config, spec.Metrics, bool) {
+// the objective, break ties deterministically by configuration key. It
+// also reports how many candidates the constraint pruning rejected.
+func (s *Scheduler) selectForPref(pref Preference, res resource.Vector) (spec.Config, spec.Metrics, int, bool) {
 	type scored struct {
 		cfg spec.Config
 		m   spec.Metrics
@@ -165,8 +199,9 @@ func (s *Scheduler) selectForPref(pref Preference, res resource.Vector) (spec.Co
 		}
 		feasible = append(feasible, scored{cfg: cfg, m: m, obj: obj})
 	}
+	pruned := len(s.cands) - len(feasible)
 	if len(feasible) == 0 {
-		return nil, nil, false
+		return nil, nil, pruned, false
 	}
 	higher := s.app.Metric(pref.Objective).Better == spec.HigherIsBetter
 	sort.Slice(feasible, func(i, j int) bool {
@@ -178,7 +213,7 @@ func (s *Scheduler) selectForPref(pref Preference, res resource.Vector) (spec.Co
 		}
 		return feasible[i].cfg.Key() < feasible[j].cfg.Key()
 	})
-	return feasible[0].cfg, feasible[0].m, true
+	return feasible[0].cfg, feasible[0].m, pruned, true
 }
 
 // validRanges derives, per resource kind in res, the contiguous band of
@@ -199,7 +234,7 @@ func (s *Scheduler) validRanges(cfg spec.Config, pref Preference, res resource.V
 			continue
 		}
 		satisfies := func(v float64) bool {
-			chosen, _, found := s.selectForPref(pref, res.With(kind, v))
+			chosen, _, _, found := s.selectForPref(pref, res.With(kind, v))
 			return found && chosen.Equal(cfg)
 		}
 		// Index of the lattice point nearest the current value.

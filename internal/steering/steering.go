@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"time"
 
+	"tunable/internal/metrics"
 	"tunable/internal/resource"
 	"tunable/internal/spec"
 	"tunable/internal/vtime"
@@ -60,6 +61,12 @@ type Agent struct {
 	onApply  []func(old, new spec.Config, ranges map[resource.Kind][2]float64)
 	switches int64
 	rejects  int64
+
+	// telemetry instruments; nil (no-op) unless EnableMetrics ran
+	mSwitches   *metrics.Counter
+	mRejects    *metrics.Counter
+	mSuperseded *metrics.Counter
+	mGuardRound *metrics.Counter
 }
 
 // New creates a steering agent with the given initial configuration.
@@ -75,6 +82,24 @@ func New(sim *vtime.Sim, app *spec.App, initial spec.Config) (*Agent, error) {
 		acks:     vtime.NewNamedChan[Ack](sim, 16, "steering.acks"),
 		handlers: make(map[string]Handler),
 	}, nil
+}
+
+// EnableMetrics instruments the agent. Metric families:
+// steering_switches_total (reconfigurations applied),
+// steering_rejects_total (control messages refused — vetoed, invalid, or
+// redundant), steering_superseded_total (queued messages displaced by a
+// newer one before application), and steering_guard_rounds_total
+// (negotiation rounds, i.e. control messages actually evaluated against
+// guards and veto hooks).
+func (a *Agent) EnableMetrics(reg *metrics.Registry) {
+	a.mSwitches = reg.Counter("steering_switches_total",
+		"Configuration switches applied at transition points.")
+	a.mRejects = reg.Counter("steering_rejects_total",
+		"Control messages rejected (veto, validation, or redundancy).")
+	a.mSuperseded = reg.Counter("steering_superseded_total",
+		"Queued control messages superseded before application.")
+	a.mGuardRound = reg.Counter("steering_guard_rounds_total",
+		"Guard negotiation rounds (control messages evaluated).")
 }
 
 // Current returns the active configuration.
@@ -120,6 +145,7 @@ func (a *Agent) MaybeApply(p *vtime.Proc) (spec.Config, bool) {
 			break
 		}
 		if pending != nil {
+			a.mSuperseded.Inc()
 			a.acks.TrySend(Ack{
 				Seq: pending.Seq, Accepted: false, At: p.Now(),
 				Applied: a.current.Clone(), Reason: "superseded",
@@ -133,6 +159,7 @@ func (a *Agent) MaybeApply(p *vtime.Proc) (spec.Config, bool) {
 	}
 	if err := a.apply(p, *pending); err != nil {
 		a.rejects++
+		a.mRejects.Inc()
 		a.acks.TrySend(Ack{
 			Seq: pending.Seq, Accepted: false, At: p.Now(),
 			Applied: a.current.Clone(), Reason: err.Error(),
@@ -147,6 +174,7 @@ func (a *Agent) MaybeApply(p *vtime.Proc) (spec.Config, bool) {
 }
 
 func (a *Agent) apply(p *vtime.Proc, msg ControlMsg) error {
+	a.mGuardRound.Inc()
 	if err := a.app.ValidateConfig(msg.Config); err != nil {
 		return err
 	}
@@ -165,6 +193,7 @@ func (a *Agent) apply(p *vtime.Proc, msg ControlMsg) error {
 	}
 	a.current = msg.Config.Clone()
 	a.switches++
+	a.mSwitches.Inc()
 	for _, fn := range a.onApply {
 		fn(old, a.current.Clone(), msg.ValidRanges)
 	}

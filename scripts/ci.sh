@@ -1,0 +1,21 @@
+#!/usr/bin/env sh
+# ci.sh — the full local gate: build everything, vet everything, run the
+# whole test suite under the race detector. Pass -short to skip the
+# slow real-time tests (forwarded to go test).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go vet ./..."
+go vet ./...
+
+# The race detector slows the channel-heavy virtual-time experiments well
+# past the default 10m per-package test timeout, so raise it; wall-clock
+# cost is still dominated by internal/expt (skippable with -short).
+echo "== go test -race -timeout 45m ./... $*"
+go test -race -timeout 45m "$@" ./...
+
+echo "CI gate passed."
