@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"tunable/internal/avis"
+	"tunable/internal/bufpool"
 	"tunable/internal/compress"
 	"tunable/internal/expt"
 	"tunable/internal/imagery"
@@ -362,9 +363,10 @@ func BenchmarkLZWEncode(b *testing.B) {
 	data := benchChunk(b)
 	codec, _ := compress.Lookup("lzw")
 	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		codec.Encode(data)
+		bufpool.Put(codec.Encode(data))
 	}
 }
 
@@ -372,9 +374,10 @@ func BenchmarkBZWEncode(b *testing.B) {
 	data := benchChunk(b)
 	codec, _ := compress.Lookup("bzw")
 	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		codec.Encode(data)
+		bufpool.Put(codec.Encode(data))
 	}
 }
 
@@ -383,11 +386,14 @@ func BenchmarkLZWDecode(b *testing.B) {
 	codec, _ := compress.Lookup("lzw")
 	enc := codec.Encode(data)
 	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := codec.Decode(enc); err != nil {
+		out, err := codec.Decode(enc)
+		if err != nil {
 			b.Fatal(err)
 		}
+		bufpool.Put(out)
 	}
 }
 
@@ -396,11 +402,14 @@ func BenchmarkBZWDecode(b *testing.B) {
 	codec, _ := compress.Lookup("bzw")
 	enc := codec.Encode(data)
 	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := codec.Decode(enc); err != nil {
+		out, err := codec.Decode(enc)
+		if err != nil {
 			b.Fatal(err)
 		}
+		bufpool.Put(out)
 	}
 }
 
@@ -420,11 +429,14 @@ func BenchmarkChunkExtract(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := pyr.ExtractRegion(4, 256, 256, 256, 0); err != nil {
+		ch, err := pyr.ExtractRegion(4, 256, 256, 256, 0)
+		if err != nil {
 			b.Fatal(err)
 		}
+		ch.Release()
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"tunable/internal/bufpool"
 	"tunable/internal/compress"
 	"tunable/internal/metrics"
 	"tunable/internal/netem"
@@ -385,7 +386,8 @@ var errRoundStalled = errors.New("avis: round stalled")
 // optional canvas update. Segments whose sequence number does not match
 // the current attempt are stale retransmission leftovers and are dropped.
 func (c *Client) receiveRound(p *vtime.Proc, img, seq int, canvas *wavelet.Canvas) (raw, wire int, err error) {
-	var compressed []byte
+	compressed := bufpool.Get(1 << 12)[:0]
+	defer func() { bufpool.Put(compressed) }()
 	rawTotal := 0
 	decCost := c.cost.DecodeCyclesPerByte * c.codec.DecodeCost()
 	for {
@@ -433,12 +435,15 @@ func (c *Client) receiveRound(p *vtime.Proc, img, seq int, canvas *wavelet.Canva
 	if err != nil {
 		return 0, 0, fmt.Errorf("avis: decode: %w", err)
 	}
+	defer bufpool.Put(data)
 	if canvas != nil {
 		chunk, err := wavelet.DecodeChunk(data)
 		if err != nil {
 			return 0, 0, err
 		}
-		if err := canvas.Apply(chunk); err != nil {
+		err = canvas.Apply(chunk)
+		chunk.Release()
+		if err != nil {
 			return 0, 0, err
 		}
 	}

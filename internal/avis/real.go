@@ -9,6 +9,7 @@ import (
 	"net"
 	"time"
 
+	"tunable/internal/bufpool"
 	"tunable/internal/compress"
 	"tunable/internal/metrics"
 	"tunable/internal/netem"
@@ -113,6 +114,43 @@ func readFrame(r io.Reader) ([]byte, error) {
 	return msg, nil
 }
 
+// codecInstruments carries the per-codec data-plane telemetry of one
+// direction (encode on the server, decode on the client). All methods are
+// nil-safe so uninstrumented deployments pay only a map lookup.
+type codecInstruments struct {
+	seconds  *metrics.Histogram
+	inBytes  *metrics.Counter
+	outBytes *metrics.Counter
+}
+
+func (ci *codecInstruments) observe(sec float64, in, out int) {
+	if ci == nil {
+		return
+	}
+	ci.seconds.Observe(sec)
+	ci.inBytes.Add(float64(in))
+	ci.outBytes.Add(float64(out))
+}
+
+// newCodecInstruments registers one instrument set per registered codec,
+// labeled codec="<name>", under the given metric-family prefix
+// (avis_codec_encode or avis_codec_decode).
+func newCodecInstruments(reg *metrics.Registry, dir string) map[string]*codecInstruments {
+	m := make(map[string]*codecInstruments, 4)
+	for _, name := range compress.Names() {
+		l := metrics.L("codec", name)
+		m[name] = &codecInstruments{
+			seconds: reg.Histogram("avis_codec_"+dir+"_seconds",
+				"Wall-clock time of one codec "+dir+" call.", l),
+			inBytes: reg.Counter("avis_codec_"+dir+"_in_bytes_total",
+				"Bytes fed into the codec "+dir+" path.", l),
+			outBytes: reg.Counter("avis_codec_"+dir+"_out_bytes_total",
+				"Bytes produced by the codec "+dir+" path.", l),
+		}
+	}
+	return m
+}
+
 // RealServer serves the visualization protocol over net.Conn connections.
 type RealServer struct {
 	geom      Geometry
@@ -130,6 +168,7 @@ type RealServer struct {
 	mErrors      *metrics.Counter
 	mIOTimeouts  *metrics.Counter
 	mCodecSwitch *metrics.Counter
+	mCodec       map[string]*codecInstruments
 }
 
 // SetIOTimeout bounds how long a frame read or write on a connection may
@@ -142,7 +181,9 @@ func (s *RealServer) SetIOTimeout(d time.Duration) { s.ioTimeout = d }
 // avis_connections_total, avis_requests_total, avis_request_seconds
 // (per-request serve latency), avis_sent_bytes_total (compressed bytes
 // written), avis_segments_total, avis_codec_switches_total,
-// avis_errors_total, and avis_io_timeouts_total.
+// avis_errors_total, avis_io_timeouts_total, and — labeled per codec —
+// avis_codec_encode_seconds, avis_codec_encode_in_bytes_total, and
+// avis_codec_encode_out_bytes_total.
 func (s *RealServer) EnableMetrics(reg *metrics.Registry) {
 	s.mConns = reg.Counter("avis_connections_total", "Client connections accepted.")
 	s.mRequests = reg.Counter("avis_requests_total", "Foveal region requests served.")
@@ -153,6 +194,7 @@ func (s *RealServer) EnableMetrics(reg *metrics.Registry) {
 	s.mCodecSwitch = reg.Counter("avis_codec_switches_total", "Codec change notifications honored.")
 	s.mErrors = reg.Counter("avis_errors_total", "Protocol or serve errors returned to clients.")
 	s.mIOTimeouts = reg.Counter("avis_io_timeouts_total", "Connections dropped on frame I/O timeout.")
+	s.mCodec = newCodecInstruments(reg, "encode")
 }
 
 // NewRealServer creates a server for the given synthetic image set.
@@ -279,17 +321,23 @@ func (s *RealServer) serveReal(w io.Writer, codec compress.Codec, req Request) e
 	if err != nil {
 		return err
 	}
-	raw := chunk.Encode()
+	raw := chunk.AppendEncode(bufpool.Get(chunk.Size())[:0])
+	chunk.Release()
+	rawLen := len(raw)
+	encStart := time.Now()
 	enc := codec.Encode(raw)
+	s.mCodec[codec.Name()].observe(time.Since(encStart).Seconds(), rawLen, len(enc))
+	bufpool.Put(raw)
+	defer bufpool.Put(enc)
 	total := len(enc)
 	for off := 0; off < total || off == 0; off += s.segBytes {
 		end := off + s.segBytes
 		if end > total {
 			end = total
 		}
-		rawShare := len(raw)
+		rawShare := rawLen
 		if total > 0 {
-			rawShare = len(raw) * (end - off) / total
+			rawShare = rawLen * (end - off) / total
 		}
 		seg := Segment{Image: req.Image, Seq: req.Seq, Raw: rawShare, Last: end == total, Payload: enc[off:end]}
 		if err := writeFrame(w, encodeSegment(seg)); err != nil {
@@ -325,6 +373,7 @@ type RealClient struct {
 	mRounds       *metrics.Counter
 	mImages       *metrics.Counter
 	mIOTimeouts   *metrics.Counter
+	mCodec        map[string]*codecInstruments
 }
 
 // NewRealClient wraps an established connection. Wrap conn in
@@ -354,7 +403,9 @@ func (c *RealClient) SetIOTimeout(d time.Duration) { c.rw.timeout = d }
 // EnableMetrics instruments the client. Metric families: avis_fetch_seconds
 // (per-image download latency), avis_round_seconds (per-round response
 // time), avis_raw_bytes_total, avis_wire_bytes_total, avis_rounds_total,
-// avis_images_total, and avis_io_timeouts_total.
+// avis_images_total, avis_io_timeouts_total, and — labeled per codec —
+// avis_codec_decode_seconds, avis_codec_decode_in_bytes_total, and
+// avis_codec_decode_out_bytes_total.
 func (c *RealClient) EnableMetrics(reg *metrics.Registry) {
 	c.mFetchSeconds = reg.Histogram("avis_fetch_seconds", "Per-image download latency.")
 	c.mRoundSeconds = reg.Histogram("avis_round_seconds", "Per-round response time.")
@@ -363,6 +414,7 @@ func (c *RealClient) EnableMetrics(reg *metrics.Registry) {
 	c.mRounds = reg.Counter("avis_rounds_total", "Request/reply rounds completed.")
 	c.mImages = reg.Counter("avis_images_total", "Images fully downloaded.")
 	c.mIOTimeouts = reg.Counter("avis_io_timeouts_total", "Frame reads/writes that missed the I/O deadline.")
+	c.mCodec = newCodecInstruments(reg, "decode")
 }
 
 // readFrameT reads one frame, converting a missed deadline into a typed
@@ -477,17 +529,20 @@ func (c *RealClient) FetchImage(img int, canvas *wavelet.Canvas) (ImageStat, err
 		if err := c.writeFrameT(encodeRequest(req)); err != nil {
 			return stat, err
 		}
-		var compressed []byte
+		compressed := bufpool.Get(1 << 12)[:0]
 		for {
 			msg, err := c.readFrameT()
 			if err != nil {
+				bufpool.Put(compressed)
 				return stat, err
 			}
 			if len(msg) > 0 && msg[0] == tagError {
+				bufpool.Put(compressed)
 				return stat, fmt.Errorf("avis: server error: %s", msg[1:])
 			}
 			seg, err := decodeSegment(msg)
 			if err != nil {
+				bufpool.Put(compressed)
 				return stat, err
 			}
 			compressed = append(compressed, seg.Payload...)
@@ -495,16 +550,25 @@ func (c *RealClient) FetchImage(img int, canvas *wavelet.Canvas) (ImageStat, err
 				break
 			}
 		}
+		decStart := time.Now()
 		data, err := c.codec.Decode(compressed)
 		if err != nil {
+			bufpool.Put(compressed)
 			return stat, err
 		}
+		c.mCodec[c.codec.Name()].observe(time.Since(decStart).Seconds(), len(compressed), len(data))
 		if canvas != nil {
 			chunk, err := wavelet.DecodeChunk(data)
 			if err != nil {
+				bufpool.Put(compressed)
+				bufpool.Put(data)
 				return stat, err
 			}
-			if err := canvas.Apply(chunk); err != nil {
+			err = canvas.Apply(chunk)
+			chunk.Release()
+			if err != nil {
+				bufpool.Put(compressed)
+				bufpool.Put(data)
 				return stat, err
 			}
 		}
@@ -512,6 +576,8 @@ func (c *RealClient) FetchImage(img int, canvas *wavelet.Canvas) (ImageStat, err
 		stat.WireBytes += int64(len(compressed))
 		c.mRawBytes.Add(float64(len(data)))
 		c.mWireBytes.Add(float64(len(compressed)))
+		bufpool.Put(compressed)
+		bufpool.Put(data)
 		prevR = r
 		rounds++
 		c.mRounds.Inc()

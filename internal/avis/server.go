@@ -3,6 +3,7 @@ package avis
 import (
 	"fmt"
 
+	"tunable/internal/bufpool"
 	"tunable/internal/compress"
 	"tunable/internal/netem"
 	"tunable/internal/sandbox"
@@ -169,11 +170,14 @@ func (s *Server) serveRequest(p *vtime.Proc, sendQ *vtime.Chan[[]byte], req Requ
 	if err != nil {
 		return err
 	}
-	rawBytes := chunk.Encode()
-	s.sb.Compute(p, s.cost.ExtractCyclesPerCoeff*float64(len(rawBytes)))
+	rawBytes := chunk.AppendEncode(bufpool.Get(chunk.Size())[:0])
+	chunk.Release()
+	rawLen := len(rawBytes)
+	s.sb.Compute(p, s.cost.ExtractCyclesPerCoeff*float64(rawLen))
 	enc := s.codec.Encode(rawBytes)
-	s.stats.RawBytes += int64(len(rawBytes))
+	s.stats.RawBytes += int64(rawLen)
 	s.stats.CompressedBytes += int64(len(enc))
+	bufpool.Put(rawBytes)
 	// Stream the compressed bytes in slices, charging the compression cost
 	// slice by slice so the sender can overlap transmission.
 	encCost := s.cost.EncodeCyclesPerByte * s.codec.EncodeCost()
@@ -183,9 +187,9 @@ func (s *Server) serveRequest(p *vtime.Proc, sendQ *vtime.Chan[[]byte], req Requ
 		if end > total {
 			end = total
 		}
-		rawShare := float64(len(rawBytes))
+		rawShare := float64(rawLen)
 		if total > 0 {
-			rawShare = float64(len(rawBytes)) * float64(end-off) / float64(total)
+			rawShare = float64(rawLen) * float64(end-off) / float64(total)
 		}
 		s.sb.Compute(p, encCost*rawShare)
 		seg := Segment{
@@ -200,5 +204,7 @@ func (s *Server) serveRequest(p *vtime.Proc, sendQ *vtime.Chan[[]byte], req Requ
 			break
 		}
 	}
+	// encodeSegment copies the payload, so the codec output can be recycled.
+	bufpool.Put(enc)
 	return nil
 }

@@ -11,16 +11,26 @@ import (
 // ImageStore caches decomposed pyramids. Building a 1024² pyramid costs
 // real milliseconds and tens of megabytes, and profiling sweeps run the
 // same images through hundreds of simulated worlds, so pyramids are shared
-// (they are read-only after construction). The mutex serializes cache
-// misses across the profiler's parallel workers.
+// (they are read-only after construction). Cache misses are single-flight
+// per key: the mutex only guards the map, and each entry carries its own
+// sync.Once, so the profiler's parallel workers can build pyramids for
+// different images concurrently while duplicate requests for the same
+// image wait on the one in-flight build.
 type ImageStore struct {
 	mu    sync.Mutex
-	cache map[string]*wavelet.Pyramid
+	cache map[string]*storeEntry
+}
+
+// storeEntry is one single-flight cache slot.
+type storeEntry struct {
+	once sync.Once
+	p    *wavelet.Pyramid
+	err  error
 }
 
 // NewImageStore creates an empty cache.
 func NewImageStore() *ImageStore {
-	return &ImageStore{cache: make(map[string]*wavelet.Pyramid)}
+	return &ImageStore{cache: make(map[string]*storeEntry)}
 }
 
 // sharedStore serves all worlds that do not supply their own store.
@@ -34,17 +44,17 @@ func SharedStore() *ImageStore { return sharedStore }
 func (s *ImageStore) Pyramid(side, levels int, seed int64) (*wavelet.Pyramid, error) {
 	key := fmt.Sprintf("%d/%d/%d", side, levels, seed)
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if p, ok := s.cache[key]; ok {
-		return p, nil
+	e, ok := s.cache[key]
+	if !ok {
+		e = &storeEntry{}
+		s.cache[key] = e
 	}
-	im := imagery.Generate(side, seed)
-	p, err := wavelet.Decompose(im, levels)
-	if err != nil {
-		return nil, err
-	}
-	s.cache[key] = p
-	return p, nil
+	s.mu.Unlock()
+	e.once.Do(func() {
+		im := imagery.Generate(side, seed)
+		e.p, e.err = wavelet.Decompose(im, levels)
+	})
+	return e.p, e.err
 }
 
 // Image regenerates the source image for verification (PSNR checks).

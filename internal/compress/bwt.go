@@ -2,63 +2,162 @@ package compress
 
 import (
 	"fmt"
-	"sort"
+	"sync"
 )
 
+// Suffix-array scratch: the prefix-doubling sort needs five integer arrays
+// of length n+1 (plus a counting array). BZW calls it once per 64 KiB
+// block, so the arrays are recycled through a sync.Pool instead of being
+// reallocated for every block.
+type saScratch struct {
+	sa, rank, tmp, tmp2 []int32
+	cnt                 []int32
+}
+
+var saPool = sync.Pool{New: func() any { return &saScratch{} }}
+
+func (s *saScratch) grow(n int) {
+	if cap(s.sa) < n {
+		s.sa = make([]int32, n)
+		s.rank = make([]int32, n)
+		s.tmp = make([]int32, n)
+		s.tmp2 = make([]int32, n)
+	}
+	s.sa = s.sa[:n]
+	s.rank = s.rank[:n]
+	s.tmp = s.tmp[:n]
+	s.tmp2 = s.tmp2[:n]
+	// The counting array must cover the initial alphabet (257 symbols plus
+	// the sentinel rank 0) and every later rank value (< n).
+	cn := n + 1
+	if cn < 258 {
+		cn = 258
+	}
+	if cap(s.cnt) < cn {
+		s.cnt = make([]int32, cn)
+	}
+	s.cnt = s.cnt[:cn]
+}
+
 // suffixArray computes the suffix array of data plus a virtual sentinel
-// smaller than every byte, using prefix doubling (O(n log² n), robust to
-// highly repetitive input). The returned array has length len(data)+1 and
-// its first entry is always the sentinel suffix.
+// smaller than every byte, using radix-sort prefix doubling (O(n log n):
+// each round is two linear passes — a bucket placement by the second key
+// and a stable counting sort by the first). The returned array has length
+// len(data)+1 and its first entry is always the sentinel suffix. The
+// caller must copy the result if it outlives the next call; here it is
+// consumed immediately by bwtForward.
 func suffixArray(data []byte) []int32 {
+	sc := saPool.Get().(*saScratch)
+	defer saPool.Put(sc)
+	sa := suffixArrayInto(sc, data)
+	out := make([]int32, len(sa))
+	copy(out, sa)
+	return out
+}
+
+// suffixArrayInto computes the suffix array into sc.sa and returns it. The
+// slice is only valid until sc is reused.
+func suffixArrayInto(sc *saScratch, data []byte) []int32 {
 	n := len(data) + 1
-	sa := make([]int32, n)
-	rank := make([]int32, n)
-	tmp := make([]int32, n)
+	sc.grow(n)
+	sa, rank, tmp, newRank, cnt := sc.sa, sc.rank, sc.tmp, sc.tmp2, sc.cnt
+
+	// Initial ranks: byte value + 1, sentinel 0. Counting sort by rank.
 	for i := 0; i < n-1; i++ {
 		rank[i] = int32(data[i]) + 1
-		sa[i] = int32(i)
 	}
-	rank[n-1] = 0 // sentinel
-	sa[n-1] = int32(n - 1)
+	rank[n-1] = 0
+	for i := range cnt {
+		cnt[i] = 0
+	}
+	for i := 0; i < n; i++ {
+		cnt[rank[i]]++
+	}
+	for i := 1; i < 258; i++ {
+		cnt[i] += cnt[i-1]
+	}
+	for i := n - 1; i >= 0; i-- {
+		cnt[rank[i]]--
+		sa[cnt[rank[i]]] = int32(i)
+	}
+
 	for k := 1; ; k *= 2 {
-		key := func(i int32) (int32, int32) {
-			second := int32(-1)
-			if int(i)+k < n {
-				second = rank[int(i)+k]
-			}
-			return rank[i], second
+		// Order by the second key (rank[i+k], absent = smallest): suffixes
+		// whose second half starts past the end come first, in index order;
+		// the rest inherit the previous round's order shifted by k.
+		p := 0
+		for i := n - k; i < n; i++ {
+			tmp[p] = int32(i)
+			p++
 		}
-		sort.Slice(sa, func(a, b int) bool {
-			a1, a2 := key(sa[a])
-			b1, b2 := key(sa[b])
-			if a1 != b1 {
-				return a1 < b1
+		for i := 0; i < n; i++ {
+			if int(sa[i]) >= k {
+				tmp[p] = sa[i] - int32(k)
+				p++
 			}
-			return a2 < b2
-		})
-		tmp[sa[0]] = 0
+		}
+		// Stable counting sort by the first key (rank). Rank values are in
+		// [0, n); reuse cnt (only the first maxRank+1 entries matter, but
+		// clearing n+1 is a linear pass either way).
+		for i := 0; i <= n; i++ {
+			cnt[i] = 0
+		}
+		for i := 0; i < n; i++ {
+			cnt[rank[i]]++
+		}
+		for i := 1; i <= n; i++ {
+			cnt[i] += cnt[i-1]
+		}
+		for i := n - 1; i >= 0; i-- {
+			s := tmp[i]
+			cnt[rank[s]]--
+			sa[cnt[rank[s]]] = s
+		}
+		// Re-rank: adjacent suffixes get the same rank iff both halves
+		// match.
+		newRank[sa[0]] = 0
+		maxRank := int32(0)
 		for i := 1; i < n; i++ {
-			tmp[sa[i]] = tmp[sa[i-1]]
-			c1, c2 := key(sa[i])
-			p1, p2 := key(sa[i-1])
-			if c1 != p1 || c2 != p2 {
-				tmp[sa[i]]++
+			cur, prev := sa[i], sa[i-1]
+			r := newRank[prev]
+			if rank[cur] != rank[prev] {
+				r++
+			} else {
+				c2, p2 := int32(-1), int32(-1)
+				if int(cur)+k < n {
+					c2 = rank[int(cur)+k]
+				}
+				if int(prev)+k < n {
+					p2 = rank[int(prev)+k]
+				}
+				if c2 != p2 {
+					r++
+				}
 			}
+			newRank[cur] = r
+			maxRank = r
 		}
-		copy(rank, tmp)
-		if rank[sa[n-1]] == int32(n-1) {
+		rank, newRank = newRank, rank
+		if maxRank == int32(n-1) {
 			break
 		}
 	}
+	sc.rank, sc.tmp2 = rank, newRank
 	return sa
 }
 
 // bwtForward computes the Burrows–Wheeler transform of data with an
-// implicit sentinel. The output has the same length as the input; primary
-// is the row at which the (omitted) sentinel character sits.
+// implicit sentinel, appending the output (same length as the input) to
+// dst. primary is the row at which the (omitted) sentinel character sits.
 func bwtForward(data []byte) (out []byte, primary int) {
-	sa := suffixArray(data)
-	out = make([]byte, 0, len(data))
+	return bwtAppendForward(nil, data)
+}
+
+func bwtAppendForward(dst, data []byte) (out []byte, primary int) {
+	sc := saPool.Get().(*saScratch)
+	defer saPool.Put(sc)
+	sa := suffixArrayInto(sc, data)
+	out = dst
 	for i, p := range sa {
 		if p == 0 {
 			primary = i
@@ -69,45 +168,65 @@ func bwtForward(data []byte) (out []byte, primary int) {
 	return out, primary
 }
 
+// bwtInverse scratch: the LF-mapping array.
+type bwtInvScratch struct {
+	lf []int32
+}
+
+var bwtInvPool = sync.Pool{New: func() any { return &bwtInvScratch{} }}
+
 // bwtInverse inverts bwtForward.
 func bwtInverse(bwt []byte, primary int) ([]byte, error) {
+	return bwtAppendInverse(nil, bwt, primary)
+}
+
+// bwtAppendInverse appends the inverse transform to dst.
+func bwtAppendInverse(dst, bwt []byte, primary int) ([]byte, error) {
 	n := len(bwt)
 	if n == 0 {
-		return []byte{}, nil
+		if dst == nil {
+			return []byte{}, nil
+		}
+		return dst, nil
 	}
 	if primary < 1 || primary > n {
 		return nil, fmt.Errorf("compress: bwt primary index %d out of range", primary)
 	}
 	// F-column starts: row 0 is the sentinel; byte b's rows start after all
 	// smaller bytes.
-	var cnt [256]int
+	var cnt [256]int32
 	for _, b := range bwt {
 		cnt[b]++
 	}
-	var start [256]int
-	s := 1
+	var start [256]int32
+	s := int32(1)
 	for b := 0; b < 256; b++ {
 		start[b] = s
 		s += cnt[b]
 	}
 	// LF mapping over the n+1 rows (sentinel row maps to row 0).
-	lf := make([]int32, n+1)
-	var occ [256]int
-	for i := 0; i <= n; i++ {
-		if i == primary {
-			lf[i] = 0
-			continue
-		}
-		j := i
-		if i > primary {
-			j = i - 1
-		}
-		b := bwt[j]
-		lf[i] = int32(start[b] + occ[b])
+	sc := bwtInvPool.Get().(*bwtInvScratch)
+	defer bwtInvPool.Put(sc)
+	if cap(sc.lf) < n+1 {
+		sc.lf = make([]int32, n+1)
+	}
+	lf := sc.lf[:n+1]
+	var occ [256]int32
+	for i := 0; i < primary; i++ {
+		b := bwt[i]
+		lf[i] = start[b] + occ[b]
+		occ[b]++
+	}
+	lf[primary] = 0
+	for i := primary + 1; i <= n; i++ {
+		b := bwt[i-1]
+		lf[i] = start[b] + occ[b]
 		occ[b]++
 	}
 	// Row 0 is the sentinel-only suffix; L[0] = last byte of the text.
-	out := make([]byte, n)
+	base := len(dst)
+	dst = growBytes(dst, n)
+	out := dst[base:]
 	r := 0
 	for k := n - 1; k >= 0; k-- {
 		if r == primary {
@@ -123,5 +242,5 @@ func bwtInverse(bwt []byte, primary int) ([]byte, error) {
 	if r != primary {
 		return nil, fmt.Errorf("compress: bwt cycle did not close")
 	}
-	return out, nil
+	return dst, nil
 }

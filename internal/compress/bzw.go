@@ -3,6 +3,9 @@ package compress
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
+
+	"tunable/internal/bufpool"
 )
 
 // BZW is compression method B: a Bzip2-style block compressor chaining
@@ -28,30 +31,56 @@ func (BZW) DecodeCost() float64 { return 2.0 }
 // bzwBlock bounds the suffix-sort working set.
 const bzwBlock = 64 << 10
 
+// bzwScratch holds the per-stage intermediate buffers of the BZW chain,
+// recycled across blocks and calls through a sync.Pool so the steady
+// state allocates only the returned output.
+type bzwScratch struct {
+	a, b, c []byte
+}
+
+var bzwPool = sync.Pool{New: func() any { return &bzwScratch{} }}
+
 // Encode implements Codec. Layout: a 4-byte input length, then per block:
 // 4-byte primary index, 4-byte payload length, payload (RLE1 → BWT → MTF →
 // ZRLE → Huffman of one ≤64 KiB input block).
+// The returned buffer is drawn from the shared bufpool; callers that are
+// done with it may bufpool.Put it back.
 func (BZW) Encode(src []byte) []byte {
-	out := make([]byte, 4, len(src)/2+64)
-	binary.LittleEndian.PutUint32(out, uint32(len(src)))
+	return bzwAppendEncode(bufpool.Get(len(src)/2+64)[:0], src)
+}
+
+// bzwAppendEncode appends the encoded form of src to dst.
+func bzwAppendEncode(dst, src []byte) []byte {
+	base := len(dst)
+	dst = growBytes(dst, 4)
+	binary.LittleEndian.PutUint32(dst[base:], uint32(len(src)))
+	sc := bzwPool.Get().(*bzwScratch)
+	defer bzwPool.Put(sc)
 	for off := 0; off < len(src); off += bzwBlock {
 		end := off + bzwBlock
 		if end > len(src) {
 			end = len(src)
 		}
 		block := src[off:end]
-		r1 := rle1Encode(block)
-		bwt, primary := bwtForward(r1)
-		mtf := mtfEncode(bwt)
-		zr := zrleEncode(mtf)
-		hf := huffEncode(zr)
-		var hdr [8]byte
-		binary.LittleEndian.PutUint32(hdr[0:], uint32(primary))
-		binary.LittleEndian.PutUint32(hdr[4:], uint32(len(hf)))
-		out = append(out, hdr[:]...)
-		out = append(out, hf...)
+		r1 := rle1AppendEncode(sc.a[:0], block)
+		sc.a = r1[:0]
+		bwt, primary := bwtAppendForward(sc.b[:0], r1)
+		sc.b = bwt[:0]
+		if cap(sc.c) < len(bwt) {
+			sc.c = make([]byte, len(bwt), len(bwt)+len(bwt)/4)
+		}
+		mtf := sc.c[:len(bwt)]
+		mtfEncodeInto(mtf, bwt)
+		zr := zrleAppendEncode(sc.a[:0], mtf)
+		sc.a = zr[:0]
+		// Reserve the block header, then Huffman-code straight into dst.
+		hdrAt := len(dst)
+		dst = growBytes(dst, 8)
+		dst = huffAppendEncode(dst, zr)
+		binary.LittleEndian.PutUint32(dst[hdrAt:], uint32(primary))
+		binary.LittleEndian.PutUint32(dst[hdrAt+4:], uint32(len(dst)-hdrAt-8))
 	}
-	return out
+	return dst
 }
 
 // Decode implements Codec.
@@ -60,8 +89,18 @@ func (BZW) Decode(src []byte) ([]byte, error) {
 		return nil, fmt.Errorf("compress: bzw header truncated")
 	}
 	total := int(binary.LittleEndian.Uint32(src))
-	out := make([]byte, 0, total)
+	// Cap the speculative preallocation against malformed headers claiming
+	// absurd lengths; the chain's worst-case expansion is bounded, so a
+	// genuine stream grows on demand and the final length check rejects
+	// anything else.
+	pre := total
+	if limit := 1024 * len(src); pre > limit+64 {
+		pre = limit + 64
+	}
+	out := bufpool.Get(pre)[:0]
 	off := 4
+	sc := bzwPool.Get().(*bzwScratch)
+	defer bzwPool.Put(sc)
 	for len(out) < total {
 		if off+8 > len(src) {
 			return nil, fmt.Errorf("compress: bzw block header truncated")
@@ -69,28 +108,35 @@ func (BZW) Decode(src []byte) ([]byte, error) {
 		primary := int(binary.LittleEndian.Uint32(src[off:]))
 		plen := int(binary.LittleEndian.Uint32(src[off+4:]))
 		off += 8
-		if off+plen > len(src) {
+		if plen < 0 || off+plen > len(src) {
 			return nil, fmt.Errorf("compress: bzw block payload truncated")
 		}
-		zr, err := huffDecode(src[off : off+plen])
+		zr, err := huffAppendDecode(sc.a[:0], src[off:off+plen])
 		if err != nil {
 			return nil, err
 		}
+		sc.a = zr[:0]
 		off += plen
-		mtf, err := zrleDecode(zr)
+		mtf, err := zrleAppendDecode(sc.b[:0], zr)
 		if err != nil {
 			return nil, err
 		}
-		bwt := mtfDecode(mtf)
-		r1, err := bwtInverse(bwt, primary)
+		sc.b = mtf[:0]
+		if cap(sc.c) < len(mtf) {
+			sc.c = make([]byte, len(mtf), len(mtf)+len(mtf)/4)
+		}
+		bwt := sc.c[:len(mtf)]
+		mtfDecodeInto(bwt, mtf)
+		r1, err := bwtAppendInverse(sc.a[:0], bwt, primary)
 		if err != nil {
 			return nil, err
 		}
-		block, err := rle1Decode(r1)
+		sc.a = r1[:0]
+		block, err := rle1AppendDecode(out, r1)
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, block...)
+		out = block
 	}
 	if len(out) != total {
 		return nil, fmt.Errorf("compress: bzw length mismatch %d != %d", len(out), total)

@@ -1,27 +1,22 @@
-// Package compress implements the two compression methods of the active
-// visualization application from scratch: method A, an LZW coder (fast,
-// moderate ratio), and method B, a Bzip2-style chain of run-length coding,
-// Burrows–Wheeler transform, move-to-front, zero-run coding, and Huffman
-// coding (slow, better ratio). The CPU-cost/ratio contrast between the two
-// is what produces the crossover of Figure 6(a).
-//
-// Codecs also carry a CostFactor: the relative processor work per input
-// byte charged to the sandbox when the virtual-time experiments compress
-// or decompress data. The factors are calibrated in package avis.
 package compress
 
 import (
 	"fmt"
 	"sort"
+
+	"tunable/internal/bufpool"
 )
 
 // Codec is a lossless byte-stream compressor.
 type Codec interface {
 	// Name is the registry key ("lzw", "bzw", "raw").
 	Name() string
-	// Encode compresses src into a fresh buffer.
+	// Encode compresses src into a fresh buffer. The buffer is drawn from
+	// the shared bufpool: callers that are done with it may return it with
+	// bufpool.Put.
 	Encode(src []byte) []byte
-	// Decode decompresses data produced by Encode.
+	// Decode decompresses data produced by Encode. On success the returned
+	// buffer is drawn from the shared bufpool, like Encode's.
 	Decode(src []byte) ([]byte, error)
 	// EncodeCost is the relative CPU work per input byte of Encode.
 	EncodeCost() float64
@@ -65,10 +60,12 @@ type Raw struct{}
 func (Raw) Name() string { return "raw" }
 
 // Encode implements Codec.
-func (Raw) Encode(src []byte) []byte { return append([]byte(nil), src...) }
+func (Raw) Encode(src []byte) []byte { return append(bufpool.Get(len(src))[:0], src...) }
 
 // Decode implements Codec.
-func (Raw) Decode(src []byte) ([]byte, error) { return append([]byte(nil), src...), nil }
+func (Raw) Decode(src []byte) ([]byte, error) {
+	return append(bufpool.Get(len(src))[:0], src...), nil
+}
 
 // EncodeCost implements Codec.
 func (Raw) EncodeCost() float64 { return 0.05 }

@@ -1,0 +1,53 @@
+// Package compress implements the two compression methods of the active
+// visualization application from scratch: method A, an LZW coder (fast,
+// moderate ratio), and method B, a Bzip2-style chain of run-length coding,
+// Burrows–Wheeler transform, move-to-front, zero-run coding, and Huffman
+// coding (slow, better ratio). The CPU-cost/ratio contrast between the two
+// is what produces the crossover of Figure 6(a).
+//
+// Codecs also carry a CostFactor: the relative processor work per input
+// byte charged to the sandbox when the virtual-time experiments compress
+// or decompress data. The factors are calibrated in package avis.
+//
+// # Kernel design
+//
+// The hot paths are written for throughput and zero steady-state
+// allocation; the wire formats are pinned bit-for-bit by the golden tests
+// in golden_test.go, so every rewrite below is observable only as speed.
+//
+// Suffix sorting (bwt.go): the Burrows–Wheeler transform sorts the
+// rotations of each 64 KiB block via a suffix array built by radix-sort
+// prefix doubling. Each doubling round is two linear passes — a bucket
+// placement ordering suffixes by their second key (the rank k positions
+// ahead), then a stable counting sort by first key — so the sort is
+// O(n log n) with no comparator calls. The five working arrays live in a
+// pooled saScratch and are reused across blocks.
+//
+// LZW dictionary (lzw.go): the encoder dictionary is a flat array of
+// lzwMaxCodes×256 slots indexed by (prefix code << 8 | next byte), each
+// slot packing a 16-bit generation tag with the assigned code. Dictionary
+// resets — every 1 KiB block and at each 12-bit width ceiling — bump the
+// generation instead of clearing 4 MiB; the array is wiped only when the
+// tag wraps. The decoder keeps parent/suffix/length arrays and
+// materializes each code's string back-to-front directly into the output
+// buffer, so neither direction allocates per code.
+//
+// Huffman coding (huffman.go): code lengths come from a pooled builder
+// whose node arena and index min-heap are plain slices (the heap is
+// hand-rolled so no element is boxed through an interface). Codes are
+// canonical, assigned by a counting pass per length; the decoder is
+// table-driven — per length it stores the first canonical code, symbol
+// count, and an offset into a (length, symbol)-sorted symbol array, so
+// each decoded symbol costs one compare per code bit instead of a map
+// lookup.
+//
+// Buffer discipline: every stage has an append-style variant
+// (xxxAppendEncode/Decode) writing into caller-supplied buffers; the BZW
+// chain rotates three pooled scratch buffers through its five stages, and
+// codec entry points draw their output from the size-classed
+// internal/bufpool, which callers may return with bufpool.Put when the
+// result has been consumed. Decoder preallocations from
+// attacker-controlled length headers are capped by the maximum expansion
+// a genuine stream can achieve, so malformed input fails cleanly instead
+// of allocating gigabytes.
+package compress

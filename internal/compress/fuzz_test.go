@@ -1,0 +1,43 @@
+package compress
+
+import (
+	"bytes"
+	"testing"
+)
+
+// fuzzRoundTrip drives one codec with fuzz input in both directions: the
+// input must survive an encode/decode round trip bit-exactly, and feeding
+// the raw input straight to the decoder (as a hostile peer would) must
+// return an error or a result — never panic or over-allocate.
+func fuzzRoundTrip(f *testing.F, name string) {
+	codec, err := Lookup(name)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0})
+	f.Add([]byte("the quick brown fox jumps over the lazy dog"))
+	f.Add(bytes.Repeat([]byte{0}, 4096))
+	f.Add(bytes.Repeat([]byte("ab"), 1000))
+	// A run crossing the LZW block boundary and a BZW RLE1 run edge.
+	f.Add(append(bytes.Repeat([]byte{7}, 1100), 1, 2, 3, 4, 5))
+	// An encoded stream as raw input exercises the adversarial decode path
+	// with structurally plausible bytes.
+	f.Add(codec.Encode([]byte("seed payload for the decoder path")))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		enc := codec.Encode(data)
+		dec, err := codec.Decode(enc)
+		if err != nil {
+			t.Fatalf("%s: decode of own encoding failed: %v", name, err)
+		}
+		if !bytes.Equal(dec, data) {
+			t.Fatalf("%s: round trip mismatch: %d in, %d out", name, len(data), len(dec))
+		}
+		// The decoder must reject or accept arbitrary bytes gracefully.
+		_, _ = codec.Decode(data)
+	})
+}
+
+func FuzzLZWRoundTrip(f *testing.F) { fuzzRoundTrip(f, "lzw") }
+
+func FuzzBZWRoundTrip(f *testing.F) { fuzzRoundTrip(f, "bzw") }

@@ -1,132 +1,231 @@
 package compress
 
 import (
-	"container/heap"
 	"fmt"
-	"sort"
+	"sync"
 )
 
 // Canonical Huffman coding over the byte alphabet. The encoded form is:
 // 256 code lengths (one byte each), a 4-byte little-endian symbol count,
 // then the LSB-first bitstream.
 
+// huffNode lives in a flat arena (at most 2·256−1 nodes); left/right are
+// arena indices, -1 for leaves' children.
 type huffNode struct {
 	freq        int
 	sym         int // -1 for internal nodes
-	left, right *huffNode
+	left, right int32
 	order       int // tie-break for determinism
 }
 
-type huffHeap []*huffNode
-
-func (h huffHeap) Len() int { return len(h) }
-func (h huffHeap) Less(i, j int) bool {
-	if h[i].freq != h[j].freq {
-		return h[i].freq < h[j].freq
-	}
-	return h[i].order < h[j].order
+// huffBuilder is the tree-construction state: a node arena plus an index
+// min-heap over it. The heap is hand-rolled (sift up/down on an []int32)
+// rather than container/heap so no index is ever boxed into an interface;
+// the whole builder is pooled, making per-block Huffman coding
+// allocation-free.
+type huffBuilder struct {
+	nodes []huffNode
+	idx   []int32
 }
-func (h huffHeap) Swap(i, j int)   { h[i], h[j] = h[j], h[i] }
-func (h *huffHeap) Push(x any)     { *h = append(*h, x.(*huffNode)) }
-func (h *huffHeap) Pop() (out any) { old := *h; n := len(old); out = old[n-1]; *h = old[:n-1]; return }
 
-// huffLengths computes code lengths from symbol frequencies.
+func (b *huffBuilder) less(x, y int32) bool {
+	a, c := &b.nodes[x], &b.nodes[y]
+	if a.freq != c.freq {
+		return a.freq < c.freq
+	}
+	return a.order < c.order
+}
+
+func (b *huffBuilder) push(n int32) {
+	b.idx = append(b.idx, n)
+	i := len(b.idx) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !b.less(b.idx[i], b.idx[parent]) {
+			break
+		}
+		b.idx[i], b.idx[parent] = b.idx[parent], b.idx[i]
+		i = parent
+	}
+}
+
+func (b *huffBuilder) pop() int32 {
+	top := b.idx[0]
+	n := len(b.idx) - 1
+	b.idx[0] = b.idx[n]
+	b.idx = b.idx[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		if l >= n {
+			break
+		}
+		m := l
+		if r < n && b.less(b.idx[r], b.idx[l]) {
+			m = r
+		}
+		if !b.less(b.idx[m], b.idx[i]) {
+			break
+		}
+		b.idx[i], b.idx[m] = b.idx[m], b.idx[i]
+		i = m
+	}
+	return top
+}
+
+var huffPool = sync.Pool{New: func() any {
+	return &huffBuilder{nodes: make([]huffNode, 0, 511), idx: make([]int32, 0, 256)}
+}}
+
+// huffLengths computes code lengths from symbol frequencies. The
+// construction is the classic binary heap merge with deterministic
+// (frequency, creation order) tie-breaking; only the node storage differs
+// from a pointer-based tree.
 func huffLengths(freq [256]int) [256]byte {
 	var lengths [256]byte
-	h := &huffHeap{}
+	b := huffPool.Get().(*huffBuilder)
+	defer huffPool.Put(b)
+	b.nodes = b.nodes[:0]
+	b.idx = b.idx[:0]
 	order := 0
 	for s, f := range freq {
 		if f > 0 {
-			heap.Push(h, &huffNode{freq: f, sym: s, order: order})
+			b.nodes = append(b.nodes, huffNode{freq: f, sym: s, left: -1, right: -1, order: order})
+			b.push(int32(len(b.nodes) - 1))
 			order++
 		}
 	}
-	switch h.Len() {
+	switch len(b.idx) {
 	case 0:
 		return lengths
 	case 1:
-		lengths[(*h)[0].sym] = 1
+		lengths[b.nodes[b.idx[0]].sym] = 1
 		return lengths
 	}
-	for h.Len() > 1 {
-		a := heap.Pop(h).(*huffNode)
-		b := heap.Pop(h).(*huffNode)
-		heap.Push(h, &huffNode{freq: a.freq + b.freq, sym: -1, left: a, right: b, order: order})
+	for len(b.idx) > 1 {
+		l := b.pop()
+		r := b.pop()
+		b.nodes = append(b.nodes, huffNode{
+			freq: b.nodes[l].freq + b.nodes[r].freq,
+			sym:  -1, left: l, right: r, order: order,
+		})
 		order++
+		b.push(int32(len(b.nodes) - 1))
 	}
-	root := (*h)[0]
-	var walk func(n *huffNode, depth byte)
-	walk = func(n *huffNode, depth byte) {
-		if n.sym >= 0 {
-			lengths[n.sym] = depth
-			return
+	// Depth-first walk with an explicit stack (node index, depth).
+	type frame struct {
+		n     int32
+		depth byte
+	}
+	var stack [256]frame
+	sp := 0
+	stack[0] = frame{n: b.idx[0]}
+	sp = 1
+	for sp > 0 {
+		sp--
+		f := stack[sp]
+		nd := &b.nodes[f.n]
+		if nd.sym >= 0 {
+			lengths[nd.sym] = f.depth
+			continue
 		}
-		walk(n.left, depth+1)
-		walk(n.right, depth+1)
+		stack[sp] = frame{n: nd.right, depth: f.depth + 1}
+		sp++
+		stack[sp] = frame{n: nd.left, depth: f.depth + 1}
+		sp++
 	}
-	walk(root, 0)
 	return lengths
 }
 
 // canonicalCodes assigns canonical codes from lengths (shorter codes
-// first, ties by symbol value).
+// first, ties by symbol value). Symbols of equal length are visited in
+// ascending symbol order, so a counting pass per length replaces the
+// old sort.
 func canonicalCodes(lengths [256]byte) [256]uint32 {
-	type sl struct {
-		sym int
-		l   byte
-	}
-	var syms []sl
-	for s, l := range lengths {
+	var count [huffMaxLen + 1]int
+	maxLen := 0
+	for _, l := range lengths {
 		if l > 0 {
-			syms = append(syms, sl{sym: s, l: l})
+			count[l]++
+			if int(l) > maxLen {
+				maxLen = int(l)
+			}
 		}
 	}
-	sort.Slice(syms, func(i, j int) bool {
-		if syms[i].l != syms[j].l {
-			return syms[i].l < syms[j].l
-		}
-		return syms[i].sym < syms[j].sym
-	})
 	var codes [256]uint32
+	// next[l] is the first canonical code of length l.
+	var next [huffMaxLen + 2]uint32
 	code := uint32(0)
-	prevLen := byte(0)
-	for _, s := range syms {
-		code <<= (s.l - prevLen)
-		codes[s.sym] = code
-		code++
-		prevLen = s.l
+	for l := 1; l <= maxLen; l++ {
+		next[l] = code
+		code = (code + uint32(count[l])) << 1
+	}
+	for s := 0; s < 256; s++ {
+		if l := lengths[s]; l > 0 {
+			codes[s] = next[l]
+			next[l]++
+		}
 	}
 	return codes
 }
 
+// huffMaxLen bounds the code length: lengths are produced by a Huffman
+// tree over ≤256 symbols whose total frequency is a block of ≤64 KiB plus
+// headroom, which caps depth well below 64; the wire format stores a byte.
+const huffMaxLen = 255
+
 // huffEncode compresses src.
 func huffEncode(src []byte) []byte {
+	return huffAppendEncode(nil, src)
+}
+
+// huffAppendEncode appends the encoded form of src to dst.
+func huffAppendEncode(dst, src []byte) []byte {
 	var freq [256]int
 	for _, b := range src {
 		freq[b]++
 	}
 	lengths := huffLengths(freq)
 	codes := canonicalCodes(lengths)
-	out := make([]byte, 0, 260+len(src)/2)
-	out = append(out, lengths[:]...)
-	out = append(out,
+	if cap(dst)-len(dst) < 260 {
+		dst = append(dst, make([]byte, 0, 260+len(src)/2)...)
+	}
+	dst = append(dst, lengths[:]...)
+	dst = append(dst,
 		byte(len(src)), byte(len(src)>>8), byte(len(src)>>16), byte(len(src)>>24))
-	var w bitWriter
-	for _, b := range src {
-		// Canonical codes are MSB-first by construction; emit bits
-		// individually so the reader can walk them in order.
-		l := lengths[b]
-		code := codes[b]
-		for i := int(l) - 1; i >= 0; i-- {
-			w.write(uint32(code>>uint(i))&1, 1)
+	// Canonical codes are MSB-first by construction, while the bit writer
+	// packs LSB-first; emitting the bit-reversed code in one call produces
+	// the same bit sequence as the old per-bit loop.
+	var rev [256]uint32
+	for s := 0; s < 256; s++ {
+		if l := lengths[s]; l > 0 {
+			c := codes[s]
+			var r uint32
+			for i := byte(0); i < l; i++ {
+				r = r<<1 | c&1
+				c >>= 1
+			}
+			rev[s] = r
 		}
 	}
+	w := bitWriter{buf: dst}
+	for _, b := range src {
+		w.write(rev[b], uint(lengths[b]))
+	}
 	w.flush()
-	return append(out, w.buf...)
+	return w.buf
 }
 
 // huffDecode decompresses data produced by huffEncode.
 func huffDecode(src []byte) ([]byte, error) {
+	return huffAppendDecode(nil, src)
+}
+
+// huffAppendDecode appends the decoded payload to dst. The decoder is
+// table-driven: per code length it holds the first canonical code, the
+// symbol count, and an offset into a symbol array sorted by (length,
+// symbol); one compare per bit replaces the old (length, code) map.
+func huffAppendDecode(dst, src []byte) ([]byte, error) {
 	if len(src) < 260 {
 		return nil, fmt.Errorf("compress: huffman header truncated")
 	}
@@ -134,47 +233,82 @@ func huffDecode(src []byte) ([]byte, error) {
 	copy(lengths[:], src[:256])
 	n := int(src[256]) | int(src[257])<<8 | int(src[258])<<16 | int(src[259])<<24
 	if n == 0 {
-		return []byte{}, nil
+		if dst == nil {
+			return []byte{}, nil
+		}
+		return dst, nil
 	}
-	codes := canonicalCodes(lengths)
-	// Build a decoding map from (length, code) to symbol.
-	type lc struct {
-		l byte
-		c uint32
-	}
-	decode := make(map[lc]byte)
-	maxLen := byte(0)
-	for s := 0; s < 256; s++ {
-		if lengths[s] > 0 {
-			decode[lc{l: lengths[s], c: codes[s]}] = byte(s)
-			if lengths[s] > maxLen {
-				maxLen = lengths[s]
+	var count [huffMaxLen + 1]int32
+	maxLen := 0
+	nsyms := 0
+	for _, l := range lengths {
+		if l > 0 {
+			count[l]++
+			nsyms++
+			if int(l) > maxLen {
+				maxLen = int(l)
 			}
 		}
 	}
 	if maxLen == 0 {
 		return nil, fmt.Errorf("compress: huffman table empty with %d symbols expected", n)
 	}
-	r := bitReader{data: src[260:]}
-	out := make([]byte, 0, n)
-	for len(out) < n {
-		var code uint32
-		var l byte
-		for {
-			bit, err := r.read(1)
-			if err != nil {
-				return nil, err
-			}
-			code = code<<1 | bit
-			l++
-			if sym, ok := decode[lc{l: l, c: code}]; ok {
-				out = append(out, sym)
-				break
-			}
-			if l > maxLen {
-				return nil, fmt.Errorf("compress: huffman bad code")
+	// first[l]: first canonical code of length l; offset[l]: index of its
+	// first symbol in syms (symbols in canonical (length, symbol) order).
+	var first [huffMaxLen + 2]uint32
+	var offset [huffMaxLen + 2]int32
+	var syms [256]byte
+	{
+		code := uint32(0)
+		off := int32(0)
+		for l := 1; l <= maxLen; l++ {
+			first[l] = code
+			offset[l] = off
+			code = (code + uint32(count[l])) << 1
+			off += count[l]
+		}
+		var next [huffMaxLen + 1]int32
+		copy(next[:], offset[:huffMaxLen+1])
+		for s := 0; s < 256; s++ {
+			if l := lengths[s]; l > 0 {
+				syms[next[l]] = byte(s)
+				next[l]++
 			}
 		}
 	}
-	return out, nil
+	base := len(dst)
+	dst = growBytes(dst, n)
+	out := dst[base:]
+	// Local bit-reader state: bits are consumed LSB-first from the stream
+	// and accumulated MSB-first into the running code.
+	data := src[260:]
+	pos := 0
+	var acc uint64
+	var bits uint
+	for i := 0; i < n; i++ {
+		var code uint32
+		l := 0
+		for {
+			if bits == 0 {
+				if pos >= len(data) {
+					return nil, fmt.Errorf("compress: lzw stream truncated")
+				}
+				acc = uint64(data[pos])
+				pos++
+				bits = 8
+			}
+			code = code<<1 | uint32(acc&1)
+			acc >>= 1
+			bits--
+			l++
+			if l > maxLen {
+				return nil, fmt.Errorf("compress: huffman bad code")
+			}
+			if d := int32(code) - int32(first[l]); d >= 0 && d < count[l] {
+				out[i] = syms[offset[l]+d]
+				break
+			}
+		}
+	}
+	return dst, nil
 }

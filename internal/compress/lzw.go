@@ -3,6 +3,9 @@ package compress
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
+
+	"tunable/internal/bufpool"
 )
 
 // LZW is compression method A: a from-scratch Lempel–Ziv–Welch coder with
@@ -27,6 +30,7 @@ const (
 	lzwMaxWidth  = 12
 	lzwClearCode = 256
 	lzwFirstCode = 257
+	lzwMaxCodes  = 1 << lzwMaxWidth
 	// lzwBlock bounds the streaming latency and memory of the coder: the
 	// dictionary is reset every lzwBlock input bytes, as interactive
 	// streaming implementations do. This keeps method A cheap and
@@ -82,39 +86,79 @@ func (r *bitReader) read(width uint) (uint32, error) {
 	return code, nil
 }
 
-// Encode implements Codec.
+// lzwEncTable is the encoder dictionary: a flat array indexed by
+// (prefix code << 8 | next byte). Each entry packs a 16-bit generation tag
+// with the 12-bit assigned code, so resetting the dictionary (every block
+// and at every width-ceiling overflow) is a single generation increment
+// instead of reallocating a 4096-entry map. The array is 4 MiB and lives
+// in a sync.Pool shared by all encoders.
+type lzwEncTable struct {
+	slots []uint32 // lzwMaxCodes * 256 entries: generation<<16 | code
+	gen   uint32
+}
+
+var lzwEncPool = sync.Pool{New: func() any {
+	return &lzwEncTable{slots: make([]uint32, lzwMaxCodes*256)}
+}}
+
+// reset starts a new dictionary generation in O(1); the backing array is
+// wiped only when the 16-bit generation counter wraps.
+func (t *lzwEncTable) reset() {
+	t.gen++
+	if t.gen == 1<<16 {
+		for i := range t.slots {
+			t.slots[i] = 0
+		}
+		t.gen = 1
+	}
+}
+
+// Encode implements Codec. The returned buffer is drawn from the shared
+// bufpool; callers that are done with it may bufpool.Put it back.
 func (LZW) Encode(src []byte) []byte {
+	return lzwAppendEncode(bufpool.Get(4+len(src)+len(src)/2+16)[:0], src)
+}
+
+// lzwAppendEncode appends the encoded form of src to dst.
+func lzwAppendEncode(dst, src []byte) []byte {
 	var w bitWriter
+	if cap(dst)-len(dst) < 4+len(src)+len(src)/2 {
+		// Worst case: one ≤12-bit code per input byte plus clear codes —
+		// under 1.5 bytes per byte; reserving it up front keeps the bit
+		// writer from reallocating mid-stream.
+		grown := make([]byte, len(dst), len(dst)+4+len(src)+len(src)/2+16)
+		copy(grown, dst)
+		dst = grown
+	}
+	w.buf = dst
 	var hdr [4]byte
 	binary.LittleEndian.PutUint32(hdr[:], uint32(len(src)))
 	w.buf = append(w.buf, hdr[:]...)
 	if len(src) == 0 {
 		return w.buf
 	}
-	// Dictionary: map from (prefix code, next byte) to code.
-	type entry struct {
-		prefix uint32
-		b      byte
-	}
+	t := lzwEncPool.Get().(*lzwEncTable)
+	defer lzwEncPool.Put(t)
 	for off := 0; off < len(src); off += lzwBlock {
 		end := off + lzwBlock
 		if end > len(src) {
 			end = len(src)
 		}
 		block := src[off:end]
-		dict := make(map[entry]uint32, 4096)
+		t.reset()
+		gen := t.gen << 16
 		next := uint32(lzwFirstCode)
 		width := uint(lzwMinWidth)
 		cur := uint32(block[0])
 		for i := 1; i < len(block); i++ {
 			b := block[i]
-			key := entry{prefix: cur, b: b}
-			if code, ok := dict[key]; ok {
-				cur = code
+			slot := cur<<8 | uint32(b)
+			if e := t.slots[slot]; e&0xFFFF0000 == gen {
+				cur = e & 0xFFFF
 				continue
 			}
 			w.write(cur, width)
-			dict[key] = next
+			t.slots[slot] = gen | next
 			next++
 			// Grow the code width when the next code no longer fits; reset
 			// the dictionary at the width ceiling.
@@ -123,7 +167,8 @@ func (LZW) Encode(src []byte) []byte {
 					width++
 				} else {
 					w.write(lzwClearCode, width)
-					dict = make(map[entry]uint32, 4096)
+					t.reset()
+					gen = t.gen << 16
 					next = lzwFirstCode
 					width = lzwMinWidth
 				}
@@ -148,6 +193,18 @@ func (LZW) Encode(src []byte) []byte {
 	return w.buf
 }
 
+// lzwDecTable is the decoder dictionary in parent/suffix form: entry c
+// (≥ lzwFirstCode) is the string of entry prefix[c] followed by byte
+// suffix[c]; strLen[c] caches its expanded length so output space can be
+// reserved up front and the string materialized back-to-front in place.
+type lzwDecTable struct {
+	prefix [lzwMaxCodes]uint16
+	suffix [lzwMaxCodes]byte
+	strLen [lzwMaxCodes]uint16
+}
+
+var lzwDecPool = sync.Pool{New: func() any { return new(lzwDecTable) }}
+
 // Decode implements Codec.
 func (LZW) Decode(src []byte) ([]byte, error) {
 	if len(src) < 4 {
@@ -158,46 +215,94 @@ func (LZW) Decode(src []byte) ([]byte, error) {
 		return []byte{}, nil
 	}
 	r := bitReader{data: src[4:]}
-	// Dictionary of byte strings; indices < 256 are implicit single bytes.
-	dict := make([][]byte, lzwFirstCode, 4096)
-	for i := 0; i < 256; i++ {
-		dict[i] = []byte{byte(i)}
-	}
+	t := lzwDecPool.Get().(*lzwDecTable)
+	defer lzwDecPool.Put(t)
+	next := uint32(lzwFirstCode)
 	width := uint(lzwMinWidth)
-	out := make([]byte, 0, n)
+	// Cap the speculative preallocation: a malformed header can claim an
+	// absurd length, but a genuine LZW stream expands each code (≥ 9 bits)
+	// to at most ~4 KiB of output, so anything beyond that bound grows on
+	// demand and the length check below rejects the stream.
+	pre := n
+	if limit := 4096 * (len(src) - 4) * 8 / lzwMinWidth; pre > limit+64 {
+		pre = limit + 64
+	}
+	out := bufpool.Get(pre)[:0]
 	prevValid := false
-	var prev []byte
+	var prevCode uint32
 	for len(out) < n {
 		code, err := r.read(width)
 		if err != nil {
 			return nil, err
 		}
 		if code == lzwClearCode {
-			dict = dict[:lzwFirstCode]
+			next = lzwFirstCode
 			width = lzwMinWidth
 			prevValid = false
 			continue
 		}
-		var cur []byte
+		// Expand the code's string directly into out. The string length is
+		// known (1 for literals, cached for dictionary entries), so the
+		// bytes are written back-to-front following the prefix chain.
+		var sLen int
+		start := len(out)
 		switch {
-		case int(code) < len(dict) && dict[code] != nil:
-			cur = dict[code]
-		case int(code) == len(dict) && prevValid:
-			// The KwKwK case.
-			cur = append(append([]byte{}, prev...), prev[0])
+		case code < 256:
+			sLen = 1
+			out = append(out, byte(code))
+		case code < next:
+			sLen = int(t.strLen[code])
+			out = growBytes(out, sLen)
+			c := code
+			for i := start + sLen - 1; i >= start; i-- {
+				if c < 256 {
+					out[i] = byte(c)
+					continue
+				}
+				out[i] = t.suffix[c]
+				c = uint32(t.prefix[c])
+			}
+		case code == next && prevValid:
+			// The KwKwK case: prev + first byte of prev.
+			var pLen int
+			if prevCode < 256 {
+				pLen = 1
+			} else {
+				pLen = int(t.strLen[prevCode])
+			}
+			sLen = pLen + 1
+			out = growBytes(out, sLen)
+			c := prevCode
+			for i := start + pLen - 1; i >= start; i-- {
+				if c < 256 {
+					out[i] = byte(c)
+					continue
+				}
+				out[i] = t.suffix[c]
+				c = uint32(t.prefix[c])
+			}
+			out[start+sLen-1] = out[start]
 		default:
 			return nil, fmt.Errorf("compress: lzw bad code %d", code)
 		}
-		out = append(out, cur...)
-		if prevValid {
-			dict = append(dict, append(append([]byte{}, prev...), cur[0]))
+		if prevValid && next < lzwMaxCodes {
+			t.prefix[next] = uint16(prevCode)
+			t.suffix[next] = out[start]
+			var pLen uint16
+			if prevCode < 256 {
+				pLen = 1
+			} else {
+				pLen = t.strLen[prevCode]
+			}
+			t.strLen[next] = pLen + 1
+			next++
 		}
-		prev = cur
+		prevCode = code
 		prevValid = true
 		// Width growth must track the encoder: the encoder widens after
 		// assigning code (1<<width)-1, which the decoder observes one step
 		// later (it has one fewer entry at the same point in the stream).
-		if len(dict) == 1<<width-1 && width < lzwMaxWidth {
+		if next == 1<<width-1 && width < lzwMaxWidth {
 			width++
 		}
 	}

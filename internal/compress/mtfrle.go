@@ -7,7 +7,10 @@ import "fmt"
 // byte (run length − 4). It bounds the cost of the suffix sort on highly
 // repetitive input.
 func rle1Encode(src []byte) []byte {
-	out := make([]byte, 0, len(src)+len(src)/4)
+	return rle1AppendEncode(make([]byte, 0, len(src)+len(src)/4), src)
+}
+
+func rle1AppendEncode(dst, src []byte) []byte {
 	i := 0
 	for i < len(src) {
 		b := src[i]
@@ -16,20 +19,23 @@ func rle1Encode(src []byte) []byte {
 			run++
 		}
 		if run >= 4 {
-			out = append(out, b, b, b, b, byte(run-4))
+			dst = append(dst, b, b, b, b, byte(run-4))
 		} else {
 			for k := 0; k < run; k++ {
-				out = append(out, b)
+				dst = append(dst, b)
 			}
 		}
 		i += run
 	}
-	return out
+	return dst
 }
 
 // rle1Decode inverts rle1Encode.
 func rle1Decode(src []byte) ([]byte, error) {
-	out := make([]byte, 0, len(src)*2)
+	return rle1AppendDecode(make([]byte, 0, len(src)*2), src)
+}
+
+func rle1AppendDecode(dst, src []byte) ([]byte, error) {
 	i := 0
 	for i < len(src) {
 		b := src[i]
@@ -42,64 +48,80 @@ func rle1Decode(src []byte) ([]byte, error) {
 				return nil, fmt.Errorf("compress: rle1 truncated run")
 			}
 			extra := int(src[i+4])
-			for k := 0; k < 4+extra; k++ {
-				out = append(out, b)
+			base := len(dst)
+			dst = growBytes(dst, 4+extra)
+			fill := dst[base:]
+			for k := range fill {
+				fill[k] = b
 			}
 			i += 5
 			continue
 		}
 		for k := 0; k < run; k++ {
-			out = append(out, b)
+			dst = append(dst, b)
 		}
 		i += run
 	}
-	return out, nil
+	return dst, nil
 }
 
 // mtfEncode applies the move-to-front transform.
 func mtfEncode(src []byte) []byte {
+	out := make([]byte, len(src))
+	mtfEncodeInto(out, src)
+	return out
+}
+
+// mtfEncodeInto writes the transform of src into dst (len(dst) ≥ len(src)).
+func mtfEncodeInto(dst, src []byte) {
 	var table [256]byte
 	for i := range table {
 		table[i] = byte(i)
 	}
-	out := make([]byte, len(src))
 	for i, b := range src {
 		var j int
 		for table[j] != b {
 			j++
 		}
-		out[i] = byte(j)
+		dst[i] = byte(j)
 		copy(table[1:j+1], table[:j])
 		table[0] = b
 	}
-	return out
 }
 
 // mtfDecode inverts mtfEncode.
 func mtfDecode(src []byte) []byte {
+	out := make([]byte, len(src))
+	mtfDecodeInto(out, src)
+	return out
+}
+
+// mtfDecodeInto writes the inverse transform of src into dst.
+func mtfDecodeInto(dst, src []byte) {
 	var table [256]byte
 	for i := range table {
 		table[i] = byte(i)
 	}
-	out := make([]byte, len(src))
 	for i, j := range src {
 		b := table[j]
-		out[i] = b
+		dst[i] = b
 		copy(table[1:int(j)+1], table[:j])
 		table[0] = b
 	}
-	return out
 }
 
 // zrleEncode run-length-codes the zero bytes that dominate MTF output:
 // each zero run becomes a 0x00 marker followed by length bytes (255 means
 // "255 and continue"). Non-zero bytes pass through.
 func zrleEncode(src []byte) []byte {
-	out := make([]byte, 0, len(src))
+	return zrleAppendEncode(make([]byte, 0, len(src)), src)
+}
+
+func zrleAppendEncode(dst, src []byte) []byte {
 	i := 0
 	for i < len(src) {
 		if src[i] != 0 {
-			out = append(out, src[i])
+			dst = append(dst, src[i])
 			i++
 			continue
 		}
@@ -108,25 +130,28 @@ func zrleEncode(src []byte) []byte {
 			run++
 		}
 		i += run
-		out = append(out, 0)
+		dst = append(dst, 0)
 		for run >= 255 {
-			out = append(out, 255)
+			dst = append(dst, 255)
 			run -= 255
 		}
-		out = append(out, byte(run))
+		dst = append(dst, byte(run))
 	}
-	return out
+	return dst
 }
 
 // zrleDecode inverts zrleEncode.
 func zrleDecode(src []byte) ([]byte, error) {
-	out := make([]byte, 0, len(src)*2)
+	return zrleAppendDecode(make([]byte, 0, len(src)*2), src)
+}
+
+func zrleAppendDecode(dst, src []byte) ([]byte, error) {
 	i := 0
 	for i < len(src) {
 		b := src[i]
 		i++
 		if b != 0 {
-			out = append(out, b)
+			dst = append(dst, b)
 			continue
 		}
 		run := 0
@@ -141,9 +166,12 @@ func zrleDecode(src []byte) ([]byte, error) {
 				break
 			}
 		}
-		for k := 0; k < run; k++ {
-			out = append(out, 0)
+		base := len(dst)
+		dst = growBytes(dst, run)
+		zero := dst[base:]
+		for k := range zero {
+			zero[k] = 0
 		}
 	}
-	return out, nil
+	return dst, nil
 }

@@ -1,0 +1,14 @@
+package compress
+
+// growBytes extends b by n bytes (contents unspecified) without the
+// temporary that append(b, make([]byte, n)...) would allocate when the
+// capacity already suffices.
+func growBytes(b []byte, n int) []byte {
+	l := len(b)
+	if cap(b)-l >= n {
+		return b[:l+n]
+	}
+	nb := make([]byte, l+n, 2*(l+n))
+	copy(nb, b)
+	return nb
+}

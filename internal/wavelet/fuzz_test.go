@@ -1,0 +1,43 @@
+package wavelet
+
+import (
+	"bytes"
+	"testing"
+
+	"tunable/internal/imagery"
+)
+
+// FuzzDecodeChunk feeds arbitrary bytes to the chunk decoder. Malformed
+// input must be rejected without panicking or over-allocating, and any
+// input the decoder accepts must re-encode to exactly the same bytes (the
+// wire format has no redundancy, so decode∘encode is the identity on
+// valid streams).
+func FuzzDecodeChunk(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{'W'})
+	f.Add([]byte{'W', 3, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0})
+	// Real encodings from a small pyramid seed the interesting paths.
+	pyr, err := Decompose(imagery.Generate(64, 11), 3)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, rc := range [][5]int{{3, 32, 32, 16, 0}, {2, 32, 32, 16, 8}, {0, 32, 32, 8, 0}} {
+		ch, err := pyr.ExtractRegion(rc[0], rc[1], rc[2], rc[3], rc[4])
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(ch.Encode())
+		ch.Release()
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ch, err := DecodeChunk(data)
+		if err != nil {
+			return
+		}
+		re := ch.AppendEncode(make([]byte, 0, ch.Size()))
+		ch.Release()
+		if !bytes.Equal(re, data) {
+			t.Fatalf("accepted chunk re-encodes to %d bytes, input was %d", len(re), len(data))
+		}
+	})
+}

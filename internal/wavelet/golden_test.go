@@ -1,0 +1,89 @@
+package wavelet
+
+import (
+	"bytes"
+	"encoding/hex"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tunable/internal/imagery"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden testdata files")
+
+// goldenChunks builds a fixed set of chunks from a deterministic synthetic
+// image, covering the full-level, mid-level, and incremental-refinement
+// paths of the chunk codec.
+func goldenChunks(t *testing.T) []struct {
+	name string
+	ch   *Chunk
+} {
+	t.Helper()
+	im := imagery.Generate(64, 7)
+	pyr, err := Decompose(im, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	extract := func(l, x, y, r, prevR int) *Chunk {
+		ch, err := pyr.ExtractRegion(l, x, y, r, prevR)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ch
+	}
+	return []struct {
+		name string
+		ch   *Chunk
+	}{
+		{"full", extract(3, 32, 32, 32, 0)},
+		{"mid", extract(2, 32, 32, 16, 0)},
+		{"increment", extract(3, 32, 32, 24, 8)},
+		{"offcentre", extract(3, 10, 50, 12, 0)},
+		{"coarse", extract(0, 32, 32, 8, 0)},
+	}
+}
+
+// TestGoldenChunkBytes pins the exact Chunk.Encode wire bytes: the kernel
+// rewrite must keep the serialized format bit-identical. Run with -update
+// to regenerate after an intentional format change.
+func TestGoldenChunkBytes(t *testing.T) {
+	for _, g := range goldenChunks(t) {
+		path := filepath.Join("testdata", "golden_chunk_"+g.name+".hex")
+		got := hex.EncodeToString(g.ch.Encode())
+		if *updateGolden {
+			if err := os.MkdirAll("testdata", 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, []byte(got+"\n"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		wantHex, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: missing golden file (run go test -run Golden -update): %v", g.name, err)
+		}
+		want := string(bytes.TrimSpace(wantHex))
+		if got != want {
+			t.Errorf("%s: chunk bytes differ from golden (wire format changed)", g.name)
+		}
+		// Old-format bytes must still decode and apply.
+		wantBytes, err := hex.DecodeString(want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := DecodeChunk(wantBytes)
+		if err != nil {
+			t.Fatalf("%s: golden bytes no longer decode: %v", g.name, err)
+		}
+		canvas, err := NewCanvas(64, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := canvas.Apply(dec); err != nil {
+			t.Fatalf("%s: golden chunk no longer applies: %v", g.name, err)
+		}
+	}
+}

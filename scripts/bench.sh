@@ -1,0 +1,42 @@
+#!/usr/bin/env sh
+# bench.sh — run the data-plane kernel micro-benchmarks and record the
+# results as BENCH_kernels.json at the repo root. Pass extra go-test
+# flags through, e.g. `scripts/bench.sh -benchtime 5s`.
+#
+# The JSON maps each benchmark to its ns/op, MB/s (when reported),
+# B/op, and allocs/op, so successive runs can be diffed for regressions.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BENCHES='BenchmarkLZWEncode|BenchmarkLZWDecode|BenchmarkBZWEncode|BenchmarkBZWDecode|BenchmarkChunkExtract|BenchmarkHaarDecompose'
+OUT=BENCH_kernels.json
+
+echo "== go test -bench '$BENCHES' -benchmem $*"
+go test -run '^$' -bench "$BENCHES" -benchmem -benchtime "${BENCHTIME:-2s}" "$@" . |
+	tee /dev/stderr |
+	awk '
+	/^Benchmark/ {
+		name = $1
+		sub(/-[0-9]+$/, "", name)
+		nsop = ""; mbs = ""; bop = ""; allocs = ""
+		for (i = 2; i < NF; i++) {
+			if ($(i + 1) == "ns/op") nsop = $i
+			if ($(i + 1) == "MB/s") mbs = $i
+			if ($(i + 1) == "B/op") bop = $i
+			if ($(i + 1) == "allocs/op") allocs = $i
+		}
+		line = "  \"" name "\": {\"ns_op\": " nsop
+		if (mbs != "") line = line ", \"mb_s\": " mbs
+		if (bop != "") line = line ", \"b_op\": " bop
+		if (allocs != "") line = line ", \"allocs_op\": " allocs
+		line = line "}"
+		lines[n++] = line
+	}
+	END {
+		print "{"
+		for (i = 0; i < n; i++) print lines[i] (i < n - 1 ? "," : "")
+		print "}"
+	}' >"$OUT"
+
+echo "wrote $OUT"

@@ -18,4 +18,10 @@ go vet ./...
 echo "== go test -race -timeout 45m ./... $*"
 go test -race -timeout 45m "$@" ./...
 
+# Benchmark smoke: one iteration of every benchmark catches harness rot
+# (a bench that no longer compiles or fatals on its first iteration)
+# without paying for real measurement runs.
+echo "== go test -bench=. -benchtime=1x -short (smoke)"
+go test -run '^$' -bench . -benchtime 1x -short -timeout 45m .
+
 echo "CI gate passed."
