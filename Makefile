@@ -2,12 +2,19 @@
 
 GO ?= go
 
-.PHONY: all build vet test race ci bench
+.PHONY: all build bin vet test race ci bench
 
 all: build
 
 build:
 	$(GO) build ./...
+
+# Install the deployable binaries into bin/ (the cluster trio plus the
+# profiling/figure tools).
+BINARIES = avis-coord avis-server avis-client avis-adapt avis-figures avis-profile tunable-spec
+
+bin:
+	$(GO) build -o bin/ $(addprefix ./cmd/,$(BINARIES))
 
 vet:
 	$(GO) vet ./...

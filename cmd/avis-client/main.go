@@ -3,14 +3,21 @@
 // QoS metrics of the paper (transmission time, average round response
 // time, resolution) for each image.
 //
+// With -coord it resolves its server through the avis-coord coordinator
+// instead of -addr: the coordinator places the session on the
+// least-loaded node that admits the session's resource demand, and if
+// that node dies mid-stream the client fails over to a replacement and
+// the progressive transmission continues where it stopped.
+//
 // With -metrics-addr it exposes the client-side avis_* metric families at
 // /metrics (Prometheus text format; ?format=json for JSON) plus /healthz.
 // With -io-timeout a dead or wedged server surfaces as a clean timeout
-// error instead of a hang.
+// error instead of a hang (and, under -coord, triggers failover).
 //
 // Usage:
 //
 //	avis-client -addr localhost:7465 -dr 320 -codec lzw -level 4 -n 3 -bw 500000
+//	avis-client -coord localhost:7600 -io-timeout 3s -dr 320 -codec lzw -n 3
 package main
 
 import (
@@ -22,12 +29,22 @@ import (
 	"time"
 
 	"tunable/internal/avis"
+	"tunable/internal/cluster"
 	"tunable/internal/metrics"
 	"tunable/internal/wavelet"
 )
 
+// fetcher is the part of the client the download loop needs; satisfied by
+// both avis.RealClient (direct) and cluster.FailoverClient (coordinated).
+type fetcher interface {
+	FetchImage(img int, canvas *wavelet.Canvas) (avis.ImageStat, error)
+	Geometry() avis.Geometry
+	Close() error
+}
+
 func main() {
-	addr := flag.String("addr", "localhost:7465", "server address")
+	addr := flag.String("addr", "localhost:7465", "server address (ignored with -coord)")
+	coord := flag.String("coord", "", "resolve the server through the coordinator at this address")
 	dr := flag.Int("dr", 320, "incremental fovea size")
 	codec := flag.String("codec", "lzw", "compression method: lzw, bzw, or raw")
 	level := flag.Int("level", 4, "resolution level")
@@ -36,34 +53,60 @@ func main() {
 	verify := flag.Bool("verify", false, "reconstruct images client-side and report integrity")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /healthz on this address (empty = disabled)")
 	ioTimeout := flag.Duration("io-timeout", 0, "fail a frame read/write that makes no progress for this long (0 = wait forever)")
+	sessCPU := flag.Float64("session-cpu", 0, "CPU share demanded from cluster admission control (0 = coordinator default)")
 	flag.Parse()
 
-	conn, err := net.Dial("tcp", *addr)
-	if err != nil {
-		log.Fatalf("avis-client: %v", err)
-	}
-	shaped := avis.Shape(conn, *bw)
-	client, err := avis.NewRealClient(shaped, avis.Params{
-		DR: *dr, Codec: *codec, Level: *level,
-	})
-	if err != nil {
-		log.Fatalf("avis-client: %v", err)
-	}
-	client.SetIOTimeout(*ioTimeout)
+	var reg *metrics.Registry
 	if *metricsAddr != "" {
 		start := time.Now()
-		reg := metrics.New(metrics.WithNow(func() time.Duration { return time.Since(start) }))
-		client.EnableMetrics(reg)
+		reg = metrics.New(metrics.WithNow(func() time.Duration { return time.Since(start) }))
 		msrv, err := metrics.Serve(*metricsAddr, reg)
 		if err != nil {
 			log.Fatalf("avis-client: %v", err)
 		}
 		fmt.Printf("metrics on http://%s/metrics\n", msrv.Addr)
 	}
-	defer client.Close()
-	if err := client.Connect(); err != nil {
-		fatalFetch("connect", err)
+
+	params := avis.Params{DR: *dr, Codec: *codec, Level: *level}
+	var client fetcher
+	if *coord != "" {
+		resolver := cluster.NewResolver(*coord, 0)
+		defer resolver.Close()
+		opts := []cluster.FailoverOption{
+			cluster.WithBandwidth(*bw),
+			cluster.WithSessionDemand(*sessCPU, 0),
+		}
+		if *ioTimeout > 0 {
+			opts = append(opts, cluster.WithIOTimeout(*ioTimeout))
+		}
+		fc, err := cluster.DialFailover(resolver, params, opts...)
+		if err != nil {
+			log.Fatalf("avis-client: %v", err)
+		}
+		if reg != nil {
+			fc.EnableMetrics(reg)
+		}
+		fmt.Printf("placed on node %s\n", fc.Node())
+		client = fc
+	} else {
+		conn, err := net.Dial("tcp", *addr)
+		if err != nil {
+			log.Fatalf("avis-client: %v", err)
+		}
+		rc, err := avis.NewRealClient(avis.Shape(conn, *bw), params)
+		if err != nil {
+			log.Fatalf("avis-client: %v", err)
+		}
+		rc.SetIOTimeout(*ioTimeout)
+		if reg != nil {
+			rc.EnableMetrics(reg)
+		}
+		if err := rc.Connect(); err != nil {
+			fatalFetch("connect", err)
+		}
+		client = rc
 	}
+	defer client.Close()
 	geom := client.Geometry()
 	fmt.Printf("connected: %d images, %d² pixels, %d levels\n",
 		geom.NumImages, geom.Side, geom.Levels)
@@ -92,6 +135,9 @@ func main() {
 			}
 			fmt.Printf("  image %d reconstructed at level %d\n", img, *level)
 		}
+	}
+	if fc, ok := client.(*cluster.FailoverClient); ok && fc.Failovers() > 0 {
+		fmt.Printf("survived %d failover(s); finished on node %s\n", fc.Failovers(), fc.Node())
 	}
 }
 

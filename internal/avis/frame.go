@@ -1,0 +1,35 @@
+package avis
+
+import (
+	"io"
+	"net"
+	"time"
+)
+
+// Exported frame-protocol plumbing. The cluster control plane
+// (internal/cluster) speaks the same length-prefixed framing and the same
+// progress-deadline semantics as the data plane, so the coordinator, node
+// agents, and resolvers share one wire discipline — and one failure
+// vocabulary: a dead peer always surfaces as a *TimeoutError matching
+// ErrIOTimeout.
+
+// WriteFrame sends one length-prefixed protocol message.
+func WriteFrame(w io.Writer, msg []byte) error { return writeFrame(w, msg) }
+
+// ReadFrame receives one length-prefixed protocol message.
+func ReadFrame(r io.Reader) ([]byte, error) { return readFrame(r) }
+
+// WrapTimeout converts a deadline-exceeded network error into a typed
+// *TimeoutError (matching ErrIOTimeout under errors.Is); other errors,
+// including nil, pass through unchanged.
+func WrapTimeout(op string, after time.Duration, err error) error {
+	return wrapTimeout(op, after, err)
+}
+
+// NewDeadlineRW wraps conn so every read and write first arms a fresh
+// deadline of the given timeout: the connection must keep making progress,
+// but an arbitrarily long transfer never trips the limit while bytes flow.
+// A zero timeout disables arming.
+func NewDeadlineRW(conn net.Conn, timeout time.Duration) io.ReadWriter {
+	return &deadlineRW{conn: conn, timeout: timeout}
+}

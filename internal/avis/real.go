@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"tunable/internal/bufpool"
@@ -159,6 +161,19 @@ type RealServer struct {
 	segBytes  int
 	ioTimeout time.Duration
 
+	// connection accounting for load reporting and graceful drain; conns
+	// and listeners are guarded by connMu, active is read lock-free by
+	// heartbeat load callbacks.
+	connMu    sync.Mutex
+	conns     map[net.Conn]struct{}
+	listeners []net.Listener
+	draining  bool
+	wg        sync.WaitGroup
+	active    atomic.Int64
+
+	// stats are lock-free atomics: every handler goroutine bumps them.
+	stats serverCounters
+
 	// telemetry instruments; nil (no-op) unless EnableMetrics ran
 	mConns       *metrics.Counter
 	mRequests    *metrics.Counter
@@ -214,18 +229,87 @@ func NewRealServer(side, levels int, seeds []int64, store *ImageStore) (*RealSer
 }
 
 // Serve accepts connections until the listener closes, handling each in
-// its own goroutine.
+// its own goroutine. After Shutdown it returns net.ErrClosed.
 func (s *RealServer) Serve(l net.Listener) error {
+	s.connMu.Lock()
+	if s.draining {
+		s.connMu.Unlock()
+		return net.ErrClosed
+	}
+	if s.conns == nil {
+		s.conns = make(map[net.Conn]struct{})
+	}
+	s.listeners = append(s.listeners, l)
+	s.connMu.Unlock()
 	for {
 		conn, err := l.Accept()
 		if err != nil {
 			return err
 		}
+		s.connMu.Lock()
+		if s.draining {
+			s.connMu.Unlock()
+			conn.Close()
+			return net.ErrClosed
+		}
+		s.conns[conn] = struct{}{}
+		s.active.Add(1)
+		s.wg.Add(1)
+		s.connMu.Unlock()
 		go func() {
-			defer conn.Close()
+			defer func() {
+				conn.Close()
+				s.connMu.Lock()
+				delete(s.conns, conn)
+				s.connMu.Unlock()
+				s.active.Add(-1)
+				s.wg.Done()
+			}()
 			_ = s.handle(conn)
 		}()
 	}
+}
+
+// ActiveSessions reports the number of client connections currently being
+// served; node agents feed it into cluster heartbeats as the load signal.
+func (s *RealServer) ActiveSessions() int { return int(s.active.Load()) }
+
+// Stats returns a consistent snapshot of the cumulative serving counters.
+// Safe to call concurrently with live sessions.
+func (s *RealServer) Stats() ServerStats { return s.stats.snapshot() }
+
+// Shutdown drains the server: it stops accepting (closing every listener
+// passed to Serve), waits up to timeout for in-flight sessions to finish,
+// then force-closes the stragglers. It returns the number of connections
+// that had to be force-closed. Safe to call once; Serve calls unblock with
+// net.ErrClosed.
+func (s *RealServer) Shutdown(timeout time.Duration) int {
+	s.connMu.Lock()
+	s.draining = true
+	for _, l := range s.listeners {
+		_ = l.Close()
+	}
+	s.listeners = nil
+	s.connMu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	forced := 0
+	select {
+	case <-done:
+	case <-time.After(timeout):
+		s.connMu.Lock()
+		forced = len(s.conns)
+		for conn := range s.conns {
+			_ = conn.Close()
+		}
+		s.connMu.Unlock()
+		<-done
+	}
+	return forced
 }
 
 // handle services one connection.
@@ -259,6 +343,7 @@ func (s *RealServer) handle(conn net.Conn) error {
 			name, err := decodeNotify(msg)
 			if err != nil {
 				s.mErrors.Inc()
+				s.stats.errors.Add(1)
 				if werr := writeFrame(w, encodeError(err.Error())); werr != nil {
 					return wrapTimeout("write", s.ioTimeout, werr)
 				}
@@ -267,6 +352,7 @@ func (s *RealServer) handle(conn net.Conn) error {
 			c, err := compress.Lookup(name)
 			if err != nil {
 				s.mErrors.Inc()
+				s.stats.errors.Add(1)
 				if werr := writeFrame(w, encodeError(err.Error())); werr != nil {
 					return wrapTimeout("write", s.ioTimeout, werr)
 				}
@@ -274,6 +360,7 @@ func (s *RealServer) handle(conn net.Conn) error {
 			}
 			codec = c
 			s.mCodecSwitch.Inc()
+			s.stats.notifies.Add(1)
 		case tagRequest:
 			req, err := decodeRequest(msg)
 			if err == nil {
@@ -285,6 +372,7 @@ func (s *RealServer) handle(conn net.Conn) error {
 					return err
 				}
 				s.mErrors.Inc()
+				s.stats.errors.Add(1)
 				if werr := writeFrame(w, encodeError(err.Error())); werr != nil {
 					return wrapTimeout("write", s.ioTimeout, werr)
 				}
@@ -293,6 +381,7 @@ func (s *RealServer) handle(conn net.Conn) error {
 			return wrapTimeout("write", s.ioTimeout, w.Flush())
 		default:
 			s.mErrors.Inc()
+			s.stats.errors.Add(1)
 			if err := writeFrame(w, encodeError("unknown message")); err != nil {
 				return wrapTimeout("write", s.ioTimeout, err)
 			}
@@ -310,6 +399,7 @@ func (s *RealServer) handle(conn net.Conn) error {
 func (s *RealServer) serveReal(w io.Writer, codec compress.Codec, req Request) error {
 	start := time.Now()
 	s.mRequests.Inc()
+	s.stats.requests.Add(1)
 	if req.Image < 0 || req.Image >= len(s.seeds) {
 		return fmt.Errorf("image %d out of range", req.Image)
 	}
@@ -324,12 +414,14 @@ func (s *RealServer) serveReal(w io.Writer, codec compress.Codec, req Request) e
 	raw := chunk.AppendEncode(bufpool.Get(chunk.Size())[:0])
 	chunk.Release()
 	rawLen := len(raw)
+	s.stats.rawBytes.Add(int64(rawLen))
 	encStart := time.Now()
 	enc := codec.Encode(raw)
 	s.mCodec[codec.Name()].observe(time.Since(encStart).Seconds(), rawLen, len(enc))
 	bufpool.Put(raw)
 	defer bufpool.Put(enc)
 	total := len(enc)
+	s.stats.compressedBytes.Add(int64(total))
 	for off := 0; off < total || off == 0; off += s.segBytes {
 		end := off + s.segBytes
 		if end > total {
@@ -497,98 +589,129 @@ func (c *RealClient) Close() error {
 	return c.conn.Close()
 }
 
-// FetchImage downloads one image progressively, measuring wall-clock QoS.
-func (c *RealClient) FetchImage(img int, canvas *wavelet.Canvas) (ImageStat, error) {
-	if c.geom.Side == 0 {
-		return ImageStat{}, fmt.Errorf("avis: not connected")
+// PlanRounds enumerates the request sequence of one progressive image
+// fetch under geometry g and params p — Figure 2's loop body, precomputed.
+// fromR resumes a partially delivered image: it is the level-resolution
+// radius already on the client's canvas (0 starts fresh), which is how a
+// failover client replays its fovea state onto a replacement server
+// without re-fetching delivered increments. Rounds whose full-resolution
+// increment would be empty are skipped, mirroring FetchImage.
+func PlanRounds(g Geometry, p Params, img, fromR int) []Request {
+	if g.Side == 0 {
+		return nil
 	}
-	level := c.params.Level
-	size := (c.geom.Side >> c.geom.Levels) << level
-	scale := c.geom.Side / size
-	x, y := c.geom.Side/2, c.geom.Side/2
-	stat := ImageStat{
-		Image: img, Level: level, Codec: c.params.Codec, DR: c.params.DR,
-		Start: time.Since(c.epoch),
-	}
-	start := time.Now()
-	var respSum time.Duration
-	r, prevR, rounds := 0, 0, 0
+	level := p.Level
+	size := (g.Side >> g.Levels) << level
+	scale := g.Side / size
+	x, y := g.Side/2, g.Side/2
+	var reqs []Request
+	r, prevR := fromR, fromR
 	for r < size {
-		t0 := time.Now()
-		r += c.params.DR
+		r += p.DR
 		if r > size {
 			r = size
 		}
 		fullR := r * scale / 2
 		fullPrev := prevR * scale / 2
+		prevR = r
 		if fullR <= fullPrev {
-			prevR = r
 			continue
 		}
-		req := Request{Image: img, X: x, Y: y, R: fullR, PrevR: fullPrev, Level: level}
-		if err := c.writeFrameT(encodeRequest(req)); err != nil {
-			return stat, err
-		}
-		compressed := bufpool.Get(1 << 12)[:0]
-		for {
-			msg, err := c.readFrameT()
-			if err != nil {
-				bufpool.Put(compressed)
-				return stat, err
-			}
-			if len(msg) > 0 && msg[0] == tagError {
-				bufpool.Put(compressed)
-				return stat, fmt.Errorf("avis: server error: %s", msg[1:])
-			}
-			seg, err := decodeSegment(msg)
-			if err != nil {
-				bufpool.Put(compressed)
-				return stat, err
-			}
-			compressed = append(compressed, seg.Payload...)
-			if seg.Last {
-				break
-			}
-		}
-		decStart := time.Now()
-		data, err := c.codec.Decode(compressed)
+		reqs = append(reqs, Request{Image: img, X: x, Y: y, R: fullR, PrevR: fullPrev, Level: level})
+	}
+	return reqs
+}
+
+// FetchRound performs one request/reply round: it sends req, gathers the
+// reply segments, decodes them with the current codec, and, when canvas is
+// non-nil, applies the chunk. It returns the round's pre-compression and
+// on-the-wire byte counts. Round-level granularity is what cluster
+// failover needs: a failed round applies nothing to the canvas (segments
+// are buffered and decoded only once complete), so the same request can be
+// replayed verbatim against a replacement server.
+func (c *RealClient) FetchRound(req Request, canvas *wavelet.Canvas) (rawN, wireN int, err error) {
+	if c.geom.Side == 0 {
+		return 0, 0, fmt.Errorf("avis: not connected")
+	}
+	t0 := time.Now()
+	if err := c.writeFrameT(encodeRequest(req)); err != nil {
+		return 0, 0, err
+	}
+	compressed := bufpool.Get(1 << 12)[:0]
+	for {
+		msg, err := c.readFrameT()
 		if err != nil {
 			bufpool.Put(compressed)
-			return stat, err
+			return 0, 0, err
 		}
-		c.mCodec[c.codec.Name()].observe(time.Since(decStart).Seconds(), len(compressed), len(data))
-		if canvas != nil {
-			chunk, err := wavelet.DecodeChunk(data)
-			if err != nil {
-				bufpool.Put(compressed)
-				bufpool.Put(data)
-				return stat, err
-			}
+		if len(msg) > 0 && msg[0] == tagError {
+			bufpool.Put(compressed)
+			return 0, 0, fmt.Errorf("avis: server error: %s", msg[1:])
+		}
+		seg, err := decodeSegment(msg)
+		if err != nil {
+			bufpool.Put(compressed)
+			return 0, 0, err
+		}
+		compressed = append(compressed, seg.Payload...)
+		if seg.Last {
+			break
+		}
+	}
+	decStart := time.Now()
+	data, err := c.codec.Decode(compressed)
+	if err != nil {
+		bufpool.Put(compressed)
+		return 0, 0, err
+	}
+	c.mCodec[c.codec.Name()].observe(time.Since(decStart).Seconds(), len(compressed), len(data))
+	if canvas != nil {
+		chunk, err := wavelet.DecodeChunk(data)
+		if err == nil {
 			err = canvas.Apply(chunk)
 			chunk.Release()
-			if err != nil {
-				bufpool.Put(compressed)
-				bufpool.Put(data)
-				return stat, err
-			}
 		}
-		stat.RawBytes += int64(len(data))
-		stat.WireBytes += int64(len(compressed))
-		c.mRawBytes.Add(float64(len(data)))
-		c.mWireBytes.Add(float64(len(compressed)))
-		bufpool.Put(compressed)
-		bufpool.Put(data)
-		prevR = r
-		rounds++
-		c.mRounds.Inc()
-		roundTime := time.Since(t0)
-		c.mRoundSeconds.Observe(roundTime.Seconds())
-		respSum += roundTime
+		if err != nil {
+			bufpool.Put(compressed)
+			bufpool.Put(data)
+			return 0, 0, err
+		}
+	}
+	rawN, wireN = len(data), len(compressed)
+	c.mRawBytes.Add(float64(rawN))
+	c.mWireBytes.Add(float64(wireN))
+	bufpool.Put(compressed)
+	bufpool.Put(data)
+	c.mRounds.Inc()
+	c.mRoundSeconds.Observe(time.Since(t0).Seconds())
+	return rawN, wireN, nil
+}
+
+// FetchImage downloads one image progressively, measuring wall-clock QoS.
+func (c *RealClient) FetchImage(img int, canvas *wavelet.Canvas) (ImageStat, error) {
+	if c.geom.Side == 0 {
+		return ImageStat{}, fmt.Errorf("avis: not connected")
+	}
+	stat := ImageStat{
+		Image: img, Level: c.params.Level, Codec: c.params.Codec, DR: c.params.DR,
+		Start: time.Since(c.epoch),
+	}
+	start := time.Now()
+	var respSum time.Duration
+	for _, req := range PlanRounds(c.geom, c.params, img, 0) {
+		t0 := time.Now()
+		raw, wire, err := c.FetchRound(req, canvas)
+		if err != nil {
+			return stat, err
+		}
+		stat.RawBytes += int64(raw)
+		stat.WireBytes += int64(wire)
+		stat.Rounds++
+		respSum += time.Since(t0)
 	}
 	stat.TransmitTime = time.Since(start)
-	stat.Rounds = rounds
-	if rounds > 0 {
-		stat.AvgResponse = respSum / time.Duration(rounds)
+	if stat.Rounds > 0 {
+		stat.AvgResponse = respSum / time.Duration(stat.Rounds)
 	}
 	c.mFetchSeconds.Observe(stat.TransmitTime.Seconds())
 	c.mImages.Inc()

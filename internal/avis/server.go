@@ -2,6 +2,7 @@ package avis
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"tunable/internal/bufpool"
 	"tunable/internal/compress"
@@ -17,13 +18,37 @@ import (
 // server.
 const DefaultSegmentBytes = 8 << 10
 
-// ServerStats accumulates server-side counters.
+// ServerStats is a point-in-time snapshot of the server-side counters.
 type ServerStats struct {
 	Requests        int64
 	RawBytes        int64
 	CompressedBytes int64
 	Notifies        int64
 	Errors          int64
+}
+
+// serverCounters is the live, concurrency-safe form of ServerStats. The
+// sim server's sender runs as its own goroutine-backed vtime proc and
+// shared servers can be observed (Stats) while serving, so the counters
+// are atomics rather than bare int64s — same discipline as the metrics
+// package's instruments.
+type serverCounters struct {
+	requests        atomic.Int64
+	rawBytes        atomic.Int64
+	compressedBytes atomic.Int64
+	notifies        atomic.Int64
+	errors          atomic.Int64
+}
+
+// snapshot materializes the exported stats view.
+func (c *serverCounters) snapshot() ServerStats {
+	return ServerStats{
+		Requests:        c.requests.Load(),
+		RawBytes:        c.rawBytes.Load(),
+		CompressedBytes: c.compressedBytes.Load(),
+		Notifies:        c.notifies.Load(),
+		Errors:          c.errors.Load(),
+	}
 }
 
 // Server is the server-side component: it holds images as wavelet
@@ -40,7 +65,7 @@ type Server struct {
 	sb    *sandbox.Sandbox
 	ep    *netem.Endpoint
 	codec compress.Codec
-	stats ServerStats
+	stats serverCounters
 }
 
 // ServerOption customizes a server.
@@ -79,8 +104,9 @@ func NewServer(sb *sandbox.Sandbox, ep *netem.Endpoint, side, levels int, seeds 
 	return s, nil
 }
 
-// Stats returns a snapshot of the server counters.
-func (s *Server) Stats() ServerStats { return s.stats }
+// Stats returns a snapshot of the server counters. Safe to call while
+// the server is running.
+func (s *Server) Stats() ServerStats { return s.stats.snapshot() }
 
 // Codec returns the currently announced compression method.
 func (s *Server) Codec() string { return s.codec.Name() }
@@ -128,7 +154,7 @@ func (s *Server) Run(p *vtime.Proc) error {
 				continue
 			}
 			s.codec = codec
-			s.stats.Notifies++
+			s.stats.notifies.Add(1)
 		case tagRequest:
 			req, err := decodeRequest(raw)
 			if err != nil {
@@ -147,13 +173,13 @@ func (s *Server) Run(p *vtime.Proc) error {
 }
 
 func (s *Server) fail(p *vtime.Proc, sendQ *vtime.Chan[[]byte], err error) {
-	s.stats.Errors++
+	s.stats.errors.Add(1)
 	sendQ.Send(p, encodeError(err.Error()))
 }
 
 // serveRequest extracts, compresses, and streams one foveal increment.
 func (s *Server) serveRequest(p *vtime.Proc, sendQ *vtime.Chan[[]byte], req Request) error {
-	s.stats.Requests++
+	s.stats.requests.Add(1)
 	if req.Image < 0 || req.Image >= len(s.seeds) {
 		return fmt.Errorf("avis: image %d out of range", req.Image)
 	}
@@ -175,8 +201,8 @@ func (s *Server) serveRequest(p *vtime.Proc, sendQ *vtime.Chan[[]byte], req Requ
 	rawLen := len(rawBytes)
 	s.sb.Compute(p, s.cost.ExtractCyclesPerCoeff*float64(rawLen))
 	enc := s.codec.Encode(rawBytes)
-	s.stats.RawBytes += int64(rawLen)
-	s.stats.CompressedBytes += int64(len(enc))
+	s.stats.rawBytes.Add(int64(rawLen))
+	s.stats.compressedBytes.Add(int64(len(enc)))
 	bufpool.Put(rawBytes)
 	// Stream the compressed bytes in slices, charging the compression cost
 	// slice by slice so the sender can overlap transmission.

@@ -1,0 +1,144 @@
+package avis
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// startTrackedServer is like startRealServer but also hands back the
+// server, for tests that drive Shutdown and ActiveSessions.
+func startTrackedServer(t *testing.T) (*RealServer, net.Listener) {
+	t.Helper()
+	srv, err := NewRealServer(256, 4, []int64{1, 2}, testStore)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.Serve(l) }()
+	return srv, l
+}
+
+// TestRealServerConcurrentClients hammers one server with parallel
+// sessions. Run under -race it proves the per-server counters
+// (serverCounters atomics) and the connection registry tolerate
+// concurrent mutation from every handler goroutine.
+func TestRealServerConcurrentClients(t *testing.T) {
+	srv, l := startTrackedServer(t)
+	defer srv.Shutdown(time.Second)
+
+	const clients = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			conn, err := net.Dial("tcp", l.Addr().String())
+			if err != nil {
+				errs <- err
+				return
+			}
+			c, err := NewRealClient(conn, Params{DR: 64, Codec: "lzw", Level: 4})
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			if err := c.Connect(); err != nil {
+				errs <- err
+				return
+			}
+			if _, err := c.FetchImage(i%2, nil); err != nil {
+				errs <- err
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	st := srv.Stats()
+	// 8 sessions × 4 rounds each; exact equality proves no lost updates.
+	if st.Requests != clients*4 {
+		t.Fatalf("requests %d, want %d", st.Requests, clients*4)
+	}
+	if st.Errors != 0 {
+		t.Fatalf("errors %d", st.Errors)
+	}
+
+	// Handlers unwind after the clients hang up.
+	deadline := time.Now().Add(2 * time.Second)
+	for srv.ActiveSessions() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("sessions still active: %d", srv.ActiveSessions())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestRealServerShutdownDrain checks graceful shutdown semantics: Serve
+// returns net.ErrClosed, an idle session is force-cut once the drain
+// bound expires, and a shut-down server accepts nothing new.
+func TestRealServerShutdownDrain(t *testing.T) {
+	srv, err := NewRealServer(256, 4, []int64{1}, testStore)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(l) }()
+
+	// An idle client that never hangs up.
+	c := dialReal(t, l.Addr().String(), Params{DR: 64, Codec: "lzw", Level: 4})
+	defer c.Close()
+	if srv.ActiveSessions() != 1 {
+		t.Fatalf("active %d", srv.ActiveSessions())
+	}
+
+	forced := srv.Shutdown(50 * time.Millisecond)
+	if forced != 1 {
+		t.Fatalf("forced %d sessions, want 1", forced)
+	}
+	select {
+	case err := <-serveErr:
+		if !errors.Is(err, net.ErrClosed) {
+			t.Fatalf("Serve returned %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Serve did not return after Shutdown")
+	}
+	if srv.ActiveSessions() != 0 {
+		t.Fatalf("active %d after shutdown", srv.ActiveSessions())
+	}
+	if _, err := net.Dial("tcp", l.Addr().String()); err == nil {
+		t.Fatal("listener still accepting after shutdown")
+	}
+}
+
+// TestRealServerShutdownWaitsForDrain checks the happy path: sessions
+// that finish within the bound are not cut.
+func TestRealServerShutdownWaitsForDrain(t *testing.T) {
+	srv, l := startTrackedServer(t)
+	c := dialReal(t, l.Addr().String(), Params{DR: 64, Codec: "lzw", Level: 4})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, _ = c.FetchImage(0, nil)
+		c.Close()
+	}()
+	<-done
+	if forced := srv.Shutdown(time.Second); forced != 0 {
+		t.Fatalf("cut %d sessions that had already finished", forced)
+	}
+}

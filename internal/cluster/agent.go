@@ -1,0 +1,116 @@
+package cluster
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"time"
+)
+
+// Agent is the node-side half of the registry: it registers a server with
+// the coordinator and renews it with periodic heartbeats carrying the
+// current load. It survives coordinator restarts — a heartbeat answered
+// with Known=false (or a broken connection) triggers re-registration on
+// the next beat.
+type Agent struct {
+	cl       *client
+	node     NodeInfo
+	interval time.Duration
+	load     func() Load
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// NewAgent creates an agent for the given node. load is polled before
+// each heartbeat (nil reports zero load); interval defaults to
+// DefaultHeartbeat.
+func NewAgent(coordAddr string, node NodeInfo, interval time.Duration, load func() Load) *Agent {
+	if interval <= 0 {
+		interval = DefaultHeartbeat
+	}
+	if load == nil {
+		load = func() Load { return Load{} }
+	}
+	// A beat must complete well within one interval, or the detector's
+	// deadlines drift; cap the per-call timeout at 2 intervals.
+	timeout := 2 * interval
+	if timeout < time.Second {
+		timeout = time.Second
+	}
+	return &Agent{
+		cl:       newClient(coordAddr, timeout),
+		node:     node,
+		interval: interval,
+		load:     load,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+}
+
+// Start registers the node synchronously — failing fast if the
+// coordinator is unreachable or refuses the registration — then begins
+// heartbeating in the background.
+func (a *Agent) Start() error {
+	if err := a.register(); err != nil {
+		return err
+	}
+	go a.run()
+	return nil
+}
+
+func (a *Agent) register() error {
+	_, err := a.cl.call(encodeCtrl(ctagRegister, a.node))
+	return err
+}
+
+// run is the heartbeat loop.
+func (a *Agent) run() {
+	defer close(a.done)
+	t := time.NewTicker(a.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-a.stop:
+			return
+		case <-t.C:
+			ack, err := a.cl.call(encodeCtrl(ctagHeartbeat, heartbeatMsg{ID: a.node.ID, Load: a.load()}))
+			if err != nil {
+				log.Printf("cluster: agent %s: heartbeat: %v", a.node.ID, err)
+				continue
+			}
+			if !ack.Known {
+				// Coordinator restarted or declared us dead: rejoin.
+				if err := a.register(); err != nil {
+					log.Printf("cluster: agent %s: re-register: %v", a.node.ID, err)
+				}
+			}
+		}
+	}
+}
+
+// Close stops the heartbeat loop; when deregister is true it also sends a
+// best-effort clean deregistration (graceful shutdown) so the coordinator
+// fails the node's sessions over immediately instead of waiting out the
+// death deadline.
+func (a *Agent) Close(deregister bool) {
+	a.stopOnce.Do(func() {
+		close(a.stop)
+		<-a.done
+		if deregister {
+			if _, err := a.cl.call(encodeCtrl(ctagDeregister, nodeIDMsg{ID: a.node.ID})); err != nil {
+				log.Printf("cluster: agent %s: deregister: %v", a.node.ID, err)
+			}
+		}
+		a.cl.close()
+	})
+}
+
+// ID returns the agent's node ID.
+func (a *Agent) ID() string { return a.node.ID }
+
+// String implements fmt.Stringer for log lines.
+func (a *Agent) String() string {
+	return fmt.Sprintf("cluster.Agent(%s → %s)", a.node.ID, a.cl.addr)
+}

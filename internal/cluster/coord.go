@@ -1,0 +1,547 @@
+package cluster
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"tunable/internal/avis"
+	"tunable/internal/metrics"
+	"tunable/internal/resource"
+	"tunable/internal/sandbox"
+	"tunable/internal/scheduler"
+	"tunable/internal/vtime"
+)
+
+// Config tunes a Coordinator.
+type Config struct {
+	// SuspectAfter / DeadAfter are the failure detector's deadlines
+	// (defaults DefaultSuspectAfter / DefaultDeadAfter).
+	SuspectAfter time.Duration
+	DeadAfter    time.Duration
+	// Now is the injected clock (monotone duration on any epoch); defaults
+	// to wall time since construction. Tests drive it directly.
+	Now func() time.Duration
+	// IOTimeout is the per-frame progress deadline on control
+	// connections; 0 (the default) waits forever, since heartbeat
+	// connections are idle between beats.
+	IOTimeout time.Duration
+}
+
+// node is one registry entry.
+type node struct {
+	info NodeInfo
+	sig  string
+	load Load
+	host *sandbox.Host
+}
+
+// session is one placed client session.
+type session struct {
+	id     string
+	nodeID string // "" while orphaned (its node died, awaiting failover)
+	res    *scheduler.Reservation
+	placed bool // ever successfully placed; a later re-place is a failover
+}
+
+// Coordinator owns the cluster registry, failure detector, and
+// admission-controlled placement. All state is guarded by mu; the network
+// front end (Serve) and the detector pump (Tick) are thin shells over the
+// locked core, so the coordinator can also be driven entirely in-process
+// by tests.
+type Coordinator struct {
+	cfg Config
+
+	mu       sync.Mutex
+	det      *Detector
+	adm      *scheduler.Admission
+	sim      *vtime.Sim // host factory bookkeeping only; never run
+	nodes    map[string]*node
+	sessions map[string]*session
+
+	connMu    sync.Mutex
+	conns     map[net.Conn]struct{}
+	listeners []net.Listener
+	closed    bool
+	wg        sync.WaitGroup
+
+	// telemetry instruments; nil (no-op) unless EnableMetrics ran
+	mNodesAlive    *metrics.Gauge
+	mNodesSuspect  *metrics.Gauge
+	mNodesDead     *metrics.Gauge
+	mSessions      *metrics.Gauge
+	mRegistrations *metrics.Counter
+	mHeartbeats    *metrics.Counter
+	mHeartbeatGap  *metrics.Histogram
+	mNodeDeaths    *metrics.Counter
+	mFailovers     *metrics.Counter
+	mResolves      *metrics.Counter
+	mNoCapacity    *metrics.Counter
+}
+
+// NewCoordinator creates an empty coordinator.
+func NewCoordinator(cfg Config) *Coordinator {
+	if cfg.Now == nil {
+		start := time.Now()
+		cfg.Now = func() time.Duration { return time.Since(start) }
+	}
+	return &Coordinator{
+		cfg:      cfg,
+		det:      NewDetector(cfg.SuspectAfter, cfg.DeadAfter),
+		adm:      scheduler.NewAdmission(),
+		sim:      vtime.NewSim(),
+		nodes:    make(map[string]*node),
+		sessions: make(map[string]*session),
+		conns:    make(map[net.Conn]struct{}),
+	}
+}
+
+// EnableMetrics instruments the coordinator. Metric families:
+// cluster_nodes (gauge, labeled state=alive|suspect|dead),
+// cluster_sessions, cluster_registrations_total,
+// cluster_heartbeats_total, cluster_heartbeat_gap_seconds (inter-arrival
+// gap per heartbeat — the quantity the deadline detector thresholds),
+// cluster_node_deaths_total, cluster_failovers_total (sessions re-placed
+// after their node failed), cluster_resolves_total, and
+// cluster_no_capacity_total; plus the scheduler's sched_admission_*
+// families for the underlying reservations.
+func (c *Coordinator) EnableMetrics(reg *metrics.Registry) {
+	c.mNodesAlive = reg.Gauge("cluster_nodes", "Registered nodes by detector state.", metrics.L("state", "alive"))
+	c.mNodesSuspect = reg.Gauge("cluster_nodes", "Registered nodes by detector state.", metrics.L("state", "suspect"))
+	c.mNodesDead = reg.Gauge("cluster_nodes", "Registered nodes by detector state.", metrics.L("state", "dead"))
+	c.mSessions = reg.Gauge("cluster_sessions", "Sessions currently placed or awaiting failover.")
+	c.mRegistrations = reg.Counter("cluster_registrations_total", "Node registrations accepted (including rejoins).")
+	c.mHeartbeats = reg.Counter("cluster_heartbeats_total", "Heartbeats accepted.")
+	c.mHeartbeatGap = reg.Histogram("cluster_heartbeat_gap_seconds",
+		"Gap between successive heartbeats of a node.")
+	c.mNodeDeaths = reg.Counter("cluster_node_deaths_total", "Nodes declared dead by the failure detector.")
+	c.mFailovers = reg.Counter("cluster_failovers_total", "Sessions re-placed onto a replacement node.")
+	c.mResolves = reg.Counter("cluster_resolves_total", "Session placement requests served.")
+	c.mNoCapacity = reg.Counter("cluster_no_capacity_total", "Placements refused for lack of admissible capacity.")
+	c.adm.EnableMetrics(reg)
+}
+
+// updateStateGauges recomputes the per-state node gauges; callers hold mu.
+func (c *Coordinator) updateStateGauges() {
+	var alive, suspect, dead float64
+	for id := range c.nodes {
+		switch st, _ := c.det.State(id); st {
+		case StateAlive:
+			alive++
+		case StateSuspect:
+			suspect++
+		case StateDead:
+			dead++
+		}
+	}
+	c.mNodesAlive.Set(alive)
+	c.mNodesSuspect.Set(suspect)
+	c.mNodesDead.Set(dead)
+}
+
+// Register admits a node into the registry (or re-admits a restarted or
+// previously dead one — the rejoin path). Re-registration orphans any
+// sessions still placed on the node: their reservations are released and
+// their next resolve is treated as a failover.
+func (c *Coordinator) Register(info NodeInfo) error {
+	if info.ID == "" || info.Addr == "" {
+		return fmt.Errorf("cluster: registration needs id and addr")
+	}
+	if info.CPU <= 0 || info.CPU > 1 {
+		return fmt.Errorf("cluster: node %q declares CPU share %g outside (0,1]", info.ID, info.CPU)
+	}
+	mem := info.MemBytes
+	if mem <= 0 {
+		mem = 512 << 20
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if old := c.nodes[info.ID]; old != nil {
+		c.orphanSessionsLocked(info.ID)
+		c.adm.RemoveHost(info.ID)
+	}
+	host := sandbox.NewHost(c.sim, info.ID, 1e9, sandbox.WithMemory(mem))
+	if err := c.adm.AddHost(host); err != nil {
+		return err
+	}
+	// The sandbox layer always admits up to MaxReservable (1.0); a node
+	// declaring less carries a placeholder reservation for the difference.
+	if info.CPU < sandbox.MaxReservable {
+		if _, err := host.NewSandbox("!capacity", sandbox.MaxReservable-info.CPU, 0); err != nil {
+			c.adm.RemoveHost(info.ID)
+			return fmt.Errorf("cluster: capacity placeholder: %w", err)
+		}
+	}
+	c.nodes[info.ID] = &node{info: info, sig: info.StoreSig(), host: host}
+	c.det.Register(info.ID, c.cfg.Now())
+	c.mRegistrations.Inc()
+	c.mSessions.Set(float64(len(c.sessions)))
+	c.updateStateGauges()
+	return nil
+}
+
+// Heartbeat renews a node's lease and records its load. It reports
+// whether the coordinator knows the node: false tells the agent to
+// re-register (the coordinator restarted, or the node was declared dead).
+func (c *Coordinator) Heartbeat(id string, load Load) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := c.nodes[id]
+	if n == nil {
+		return false
+	}
+	gap, ok := c.det.Observe(id, c.cfg.Now())
+	if !ok {
+		return false
+	}
+	n.load = load
+	c.mHeartbeats.Inc()
+	c.mHeartbeatGap.Observe(gap.Seconds())
+	c.updateStateGauges()
+	return true
+}
+
+// Deregister removes a node cleanly (graceful shutdown): its sessions are
+// orphaned for failover, but no death is counted.
+func (c *Coordinator) Deregister(id string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.nodes[id] == nil {
+		return
+	}
+	c.orphanSessionsLocked(id)
+	c.adm.RemoveHost(id)
+	c.det.Remove(id)
+	delete(c.nodes, id)
+	c.updateStateGauges()
+}
+
+// orphanSessionsLocked releases the reservations of every session placed
+// on nodeID and marks them for failover; callers hold mu.
+func (c *Coordinator) orphanSessionsLocked(nodeID string) {
+	for _, s := range c.sessions {
+		if s.nodeID == nodeID {
+			if s.res != nil {
+				s.res.Release()
+				s.res = nil
+			}
+			s.nodeID = ""
+		}
+	}
+}
+
+// Tick advances the failure detector to Now(), applying suspect and death
+// verdicts: dead nodes keep their registry entry (so the death is
+// observable) but lose their host and sessions.
+func (c *Coordinator) Tick() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, tr := range c.det.Tick(c.cfg.Now()) {
+		if tr.To != StateDead {
+			continue
+		}
+		c.mNodeDeaths.Inc()
+		c.orphanSessionsLocked(tr.ID)
+		c.adm.RemoveHost(tr.ID)
+	}
+	c.updateStateGauges()
+}
+
+// StartTicker pumps Tick every interval on a background goroutine until
+// the returned stop function is called.
+func (c *Coordinator) StartTicker(interval time.Duration) (stop func()) {
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				c.Tick()
+			}
+		}
+	}()
+	var once sync.Once
+	return func() { once.Do(func() { close(done) }) }
+}
+
+// Resolve places (or re-places) a session onto an alive node: candidates
+// matching the requested store signature are tried least-reserved-share
+// first, and the first node whose admission control accepts the session's
+// demand wins — all-or-nothing per Section 6.2, so an over-committed node
+// never silently absorbs a session it cannot police. A request for a
+// session the coordinator has already seen counts as a failover.
+func (c *Coordinator) Resolve(req ResolveRequest) (ResolveGrant, error) {
+	if req.SID == "" {
+		return ResolveGrant{}, fmt.Errorf("cluster: resolve needs a session id")
+	}
+	share := req.CPU
+	if share <= 0 {
+		share = DefaultSessionShare
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.mResolves.Inc()
+
+	sess := c.sessions[req.SID]
+	failover := false
+	if sess != nil {
+		failover = sess.placed
+		if sess.res != nil {
+			sess.res.Release()
+			sess.res = nil
+		}
+		sess.nodeID = ""
+	} else {
+		sess = &session{id: req.SID}
+		c.sessions[req.SID] = sess
+	}
+
+	excluded := make(map[string]bool, len(req.Exclude))
+	for _, id := range req.Exclude {
+		excluded[id] = true
+	}
+	type cand struct {
+		id       string
+		reserved float64
+		sessions int
+	}
+	var cands []cand
+	for id, n := range c.nodes {
+		if st, _ := c.det.State(id); st != StateAlive {
+			continue
+		}
+		if excluded[id] || (req.Sig != "" && n.sig != req.Sig) {
+			continue
+		}
+		cands = append(cands, cand{id: id, reserved: n.host.Reserved() / n.info.CPU, sessions: n.load.ActiveSessions})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].reserved != cands[j].reserved {
+			return cands[i].reserved < cands[j].reserved
+		}
+		if cands[i].sessions != cands[j].sessions {
+			return cands[i].sessions < cands[j].sessions
+		}
+		return cands[i].id < cands[j].id
+	})
+	if len(cands) == 0 {
+		c.mNoCapacity.Inc()
+		c.mSessions.Set(float64(len(c.sessions)))
+		return ResolveGrant{}, fmt.Errorf("cluster: no alive node matches the request")
+	}
+	want := resource.Vector{resource.CPU: share}
+	if req.MemBytes > 0 {
+		want[resource.Memory] = float64(req.MemBytes)
+	}
+	for _, cd := range cands {
+		res, err := c.adm.ReservePlaced("sess:"+req.SID, []scheduler.Placement{
+			{Component: "avis", Host: cd.id, Want: want},
+		})
+		if err != nil {
+			continue
+		}
+		sess.nodeID = cd.id
+		sess.res = res
+		sess.placed = true
+		if failover {
+			c.mFailovers.Inc()
+		}
+		c.mSessions.Set(float64(len(c.sessions)))
+		n := c.nodes[cd.id]
+		return ResolveGrant{NodeID: cd.id, Addr: n.info.Addr, Sig: n.sig, Failover: failover}, nil
+	}
+	c.mNoCapacity.Inc()
+	c.mSessions.Set(float64(len(c.sessions)))
+	return ResolveGrant{}, fmt.Errorf("cluster: no node admits the session demand (cpu %.2f)", share)
+}
+
+// EndSession releases a session's reservation (client hung up cleanly).
+func (c *Coordinator) EndSession(sid string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if s := c.sessions[sid]; s != nil {
+		if s.res != nil {
+			s.res.Release()
+		}
+		delete(c.sessions, sid)
+	}
+	c.mSessions.Set(float64(len(c.sessions)))
+}
+
+// Nodes lists the registry, sorted by node ID.
+func (c *Coordinator) Nodes() []NodeStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]NodeStatus, 0, len(c.nodes))
+	for id, n := range c.nodes {
+		st, _ := c.det.State(id)
+		sessions := 0
+		for _, s := range c.sessions {
+			if s.nodeID == id {
+				sessions++
+			}
+		}
+		reserved := 0.0
+		if st != StateDead {
+			reserved = n.host.Reserved() - (sandbox.MaxReservable - n.info.CPU)
+			if reserved < 0 {
+				reserved = 0
+			}
+		}
+		out = append(out, NodeStatus{
+			ID:          id,
+			Addr:        n.info.Addr,
+			State:       st.String(),
+			Sig:         n.sig,
+			Load:        n.load,
+			CPU:         n.info.CPU,
+			ReservedCPU: reserved,
+			Sessions:    sessions,
+			Incarnation: c.det.Incarnation(id),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Serve accepts control connections until the listener closes, handling
+// each in its own goroutine. After Shutdown it returns net.ErrClosed.
+func (c *Coordinator) Serve(l net.Listener) error {
+	c.connMu.Lock()
+	if c.closed {
+		c.connMu.Unlock()
+		return net.ErrClosed
+	}
+	c.listeners = append(c.listeners, l)
+	c.connMu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		c.connMu.Lock()
+		if c.closed {
+			c.connMu.Unlock()
+			conn.Close()
+			return net.ErrClosed
+		}
+		c.conns[conn] = struct{}{}
+		c.wg.Add(1)
+		c.connMu.Unlock()
+		go func() {
+			defer func() {
+				conn.Close()
+				c.connMu.Lock()
+				delete(c.conns, conn)
+				c.connMu.Unlock()
+				c.wg.Done()
+			}()
+			c.handle(conn)
+		}()
+	}
+}
+
+// handle services one control connection: a loop of request frames, each
+// answered with an ack frame.
+func (c *Coordinator) handle(conn net.Conn) {
+	rw := avis.NewDeadlineRW(conn, c.cfg.IOTimeout)
+	r := bufio.NewReaderSize(rw, 4<<10)
+	w := bufio.NewWriterSize(rw, 4<<10)
+	for {
+		msg, err := avis.ReadFrame(r)
+		if err != nil {
+			return
+		}
+		ack := c.dispatch(msg)
+		if err := avis.WriteFrame(w, encodeCtrl(ctagAck, ack)); err != nil {
+			return
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// dispatch decodes one request and applies it to the registry core.
+func (c *Coordinator) dispatch(msg []byte) ackMsg {
+	refuse := func(err error) ackMsg { return ackMsg{Err: err.Error()} }
+	if len(msg) == 0 {
+		return refuse(fmt.Errorf("empty frame"))
+	}
+	switch msg[0] {
+	case ctagRegister:
+		var info NodeInfo
+		if err := decodeCtrl(msg, &info); err != nil {
+			return refuse(err)
+		}
+		if err := c.Register(info); err != nil {
+			return refuse(err)
+		}
+		return ackMsg{OK: true}
+	case ctagHeartbeat:
+		var hb heartbeatMsg
+		if err := decodeCtrl(msg, &hb); err != nil {
+			return refuse(err)
+		}
+		return ackMsg{OK: true, Known: c.Heartbeat(hb.ID, hb.Load)}
+	case ctagDeregister:
+		var m nodeIDMsg
+		if err := decodeCtrl(msg, &m); err != nil {
+			return refuse(err)
+		}
+		c.Deregister(m.ID)
+		return ackMsg{OK: true}
+	case ctagResolve:
+		var req ResolveRequest
+		if err := decodeCtrl(msg, &req); err != nil {
+			return refuse(err)
+		}
+		grant, err := c.Resolve(req)
+		if err != nil {
+			return refuse(err)
+		}
+		return ackMsg{OK: true, Grant: grant}
+	case ctagEndSession:
+		var m sessionMsg
+		if err := decodeCtrl(msg, &m); err != nil {
+			return refuse(err)
+		}
+		c.EndSession(m.SID)
+		return ackMsg{OK: true}
+	case ctagNodes:
+		return ackMsg{OK: true, Nodes: c.Nodes()}
+	default:
+		return refuse(fmt.Errorf("unknown control tag %q", msg[0]))
+	}
+}
+
+// Shutdown stops the control plane: it closes every listener passed to
+// Serve and every open control connection, then waits up to timeout for
+// the handlers to unwind.
+func (c *Coordinator) Shutdown(timeout time.Duration) {
+	c.connMu.Lock()
+	c.closed = true
+	for _, l := range c.listeners {
+		_ = l.Close()
+	}
+	c.listeners = nil
+	for conn := range c.conns {
+		_ = conn.Close()
+	}
+	c.connMu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		c.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(timeout):
+	}
+}

@@ -1,0 +1,125 @@
+package cluster
+
+import (
+	"time"
+)
+
+// Detector is the heartbeat failure detector: a deadline detector in the
+// spirit of the phi-accrual family, kept deterministic by an injected
+// clock (every method takes an explicit now, a duration on the caller's
+// timeline) so the state machine is testable without real sleeps. A node
+// whose last heartbeat is older than suspectAfter becomes suspect — still
+// registered, excluded from new placements — and older than deadAfter
+// becomes dead, which the coordinator treats as permanent until the node
+// re-registers (rejoin, with a bumped incarnation).
+//
+// The detector is a pure state machine: no goroutines, no locks — the
+// coordinator serializes access under its own mutex.
+type Detector struct {
+	suspectAfter time.Duration
+	deadAfter    time.Duration
+	entries      map[string]*detEntry
+}
+
+type detEntry struct {
+	last  time.Duration // timestamp of the most recent heartbeat
+	state NodeState
+	inc   uint64 // incarnation, bumped on each (re-)registration
+}
+
+// Transition is one state change reported by Tick.
+type Transition struct {
+	ID       string
+	From, To NodeState
+}
+
+// NewDetector creates a detector with the given deadlines; deadAfter must
+// exceed suspectAfter.
+func NewDetector(suspectAfter, deadAfter time.Duration) *Detector {
+	if suspectAfter <= 0 {
+		suspectAfter = DefaultSuspectAfter
+	}
+	if deadAfter <= suspectAfter {
+		deadAfter = 2 * suspectAfter
+	}
+	return &Detector{
+		suspectAfter: suspectAfter,
+		deadAfter:    deadAfter,
+		entries:      make(map[string]*detEntry),
+	}
+}
+
+// Register (re-)announces a node at time now: its state becomes alive and
+// its incarnation is bumped. This is the only way out of StateDead.
+func (d *Detector) Register(id string, now time.Duration) uint64 {
+	e := d.entries[id]
+	if e == nil {
+		e = &detEntry{}
+		d.entries[id] = e
+	}
+	e.last = now
+	e.state = StateAlive
+	e.inc++
+	return e.inc
+}
+
+// Observe records a heartbeat at time now. It returns the gap since the
+// previous observation and whether the heartbeat was accepted: heartbeats
+// from unknown or dead nodes are refused (ok=false), telling the agent to
+// re-register. A heartbeat from a suspect node revives it to alive.
+func (d *Detector) Observe(id string, now time.Duration) (gap time.Duration, ok bool) {
+	e := d.entries[id]
+	if e == nil || e.state == StateDead {
+		return 0, false
+	}
+	gap = now - e.last
+	e.last = now
+	e.state = StateAlive
+	return gap, true
+}
+
+// Tick advances the detector to time now, returning the transitions that
+// fired (suspect and death verdicts). Ordering between nodes is
+// unspecified; callers must not depend on it.
+func (d *Detector) Tick(now time.Duration) []Transition {
+	var out []Transition
+	for id, e := range d.entries {
+		age := now - e.last
+		var next NodeState
+		switch {
+		case age >= d.deadAfter:
+			next = StateDead
+		case age >= d.suspectAfter:
+			next = StateSuspect
+		default:
+			next = StateAlive
+		}
+		// Tick never revives: only Observe/Register move a node back to
+		// alive, and only Register resurrects the dead.
+		if next > e.state {
+			out = append(out, Transition{ID: id, From: e.state, To: next})
+			e.state = next
+		}
+	}
+	return out
+}
+
+// State reports a node's current verdict.
+func (d *Detector) State(id string) (NodeState, bool) {
+	e := d.entries[id]
+	if e == nil {
+		return 0, false
+	}
+	return e.state, true
+}
+
+// Incarnation reports how many times the node has registered.
+func (d *Detector) Incarnation(id string) uint64 {
+	if e := d.entries[id]; e != nil {
+		return e.inc
+	}
+	return 0
+}
+
+// Remove forgets a node (clean deregistration).
+func (d *Detector) Remove(id string) { delete(d.entries, id) }

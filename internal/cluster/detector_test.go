@@ -1,0 +1,131 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// The failure-detection state machine, driven entirely by an injected
+// clock — no real sleeps anywhere in this file.
+
+func TestDetectorLifecycle(t *testing.T) {
+	d := NewDetector(100*time.Millisecond, 300*time.Millisecond)
+	now := time.Duration(0)
+	inc := d.Register("n1", now)
+	if inc != 1 {
+		t.Fatalf("first incarnation %d", inc)
+	}
+	if st, ok := d.State("n1"); !ok || st != StateAlive {
+		t.Fatalf("state after register: %v %v", st, ok)
+	}
+
+	// Regular heartbeats keep it alive.
+	for i := 0; i < 5; i++ {
+		now += 50 * time.Millisecond
+		if gap, ok := d.Observe("n1", now); !ok || gap != 50*time.Millisecond {
+			t.Fatalf("beat %d: gap %v ok %v", i, gap, ok)
+		}
+		if trs := d.Tick(now); len(trs) != 0 {
+			t.Fatalf("spurious transitions %v", trs)
+		}
+	}
+
+	// Silence past the suspect deadline.
+	now += 150 * time.Millisecond
+	trs := d.Tick(now)
+	if len(trs) != 1 || trs[0].To != StateSuspect || trs[0].From != StateAlive {
+		t.Fatalf("suspect transition %v", trs)
+	}
+	if st, _ := d.State("n1"); st != StateSuspect {
+		t.Fatalf("state %v", st)
+	}
+
+	// A heartbeat revives a suspect.
+	if _, ok := d.Observe("n1", now); !ok {
+		t.Fatal("suspect refused a heartbeat")
+	}
+	if st, _ := d.State("n1"); st != StateAlive {
+		t.Fatal("heartbeat did not revive suspect")
+	}
+
+	// Silence past the death deadline: suspect first, then dead.
+	now += 120 * time.Millisecond
+	d.Tick(now)
+	now += 200 * time.Millisecond
+	trs = d.Tick(now)
+	if len(trs) != 1 || trs[0].To != StateDead || trs[0].From != StateSuspect {
+		t.Fatalf("death transition %v", trs)
+	}
+
+	// Dead nodes refuse heartbeats — only re-registration resurrects.
+	if _, ok := d.Observe("n1", now); ok {
+		t.Fatal("dead node accepted a heartbeat")
+	}
+	if st, _ := d.State("n1"); st != StateDead {
+		t.Fatal("heartbeat resurrected the dead")
+	}
+	if inc := d.Register("n1", now); inc != 2 {
+		t.Fatalf("rejoin incarnation %d", inc)
+	}
+	if st, _ := d.State("n1"); st != StateAlive {
+		t.Fatal("rejoin did not revive")
+	}
+	if d.Incarnation("n1") != 2 {
+		t.Fatalf("incarnation %d", d.Incarnation("n1"))
+	}
+}
+
+func TestDetectorStraightToDead(t *testing.T) {
+	// A Tick far past both deadlines jumps alive → dead in one step (the
+	// coordinator was wedged, not the node — still a death verdict).
+	d := NewDetector(100*time.Millisecond, 300*time.Millisecond)
+	d.Register("n1", 0)
+	trs := d.Tick(time.Second)
+	if len(trs) != 1 || trs[0].To != StateDead || trs[0].From != StateAlive {
+		t.Fatalf("transitions %v", trs)
+	}
+}
+
+func TestDetectorTickNeverRevives(t *testing.T) {
+	d := NewDetector(100*time.Millisecond, 300*time.Millisecond)
+	d.Register("n1", 0)
+	d.Tick(150 * time.Millisecond) // suspect
+	// A Tick with a fresh-enough age must not move suspect back to alive.
+	if trs := d.Tick(150 * time.Millisecond); len(trs) != 0 {
+		t.Fatalf("transitions %v", trs)
+	}
+	if st, _ := d.State("n1"); st != StateSuspect {
+		t.Fatalf("state %v", st)
+	}
+}
+
+func TestDetectorUnknownAndRemove(t *testing.T) {
+	d := NewDetector(0, 0) // defaults kick in
+	if _, ok := d.Observe("ghost", 0); ok {
+		t.Fatal("unknown node accepted")
+	}
+	if _, ok := d.State("ghost"); ok {
+		t.Fatal("unknown node has state")
+	}
+	d.Register("n1", 0)
+	d.Remove("n1")
+	if _, ok := d.State("n1"); ok {
+		t.Fatal("removed node has state")
+	}
+	if len(d.Tick(time.Hour)) != 0 {
+		t.Fatal("removed node transitioned")
+	}
+}
+
+func TestDetectorDefaults(t *testing.T) {
+	d := NewDetector(50*time.Millisecond, 10*time.Millisecond) // dead ≤ suspect: fixed up
+	d.Register("n1", 0)
+	trs := d.Tick(75 * time.Millisecond)
+	if len(trs) != 1 || trs[0].To != StateSuspect {
+		t.Fatalf("transitions %v", trs)
+	}
+	trs = d.Tick(120 * time.Millisecond) // 2×suspect
+	if len(trs) != 1 || trs[0].To != StateDead {
+		t.Fatalf("transitions %v", trs)
+	}
+}

@@ -1,0 +1,274 @@
+package cluster
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"tunable/internal/avis"
+	"tunable/internal/metrics"
+	"tunable/internal/wavelet"
+)
+
+// FailoverClient is a cluster-aware avis client: it resolves its server
+// through the coordinator and, when the server dies mid-session, dials a
+// replacement and replays the session state — the codec announcement
+// travels with the reconnect handshake, and the fovea state needs no
+// re-transfer because a failed round applies nothing to the canvas, so
+// the interrupted round's request is simply re-issued (with a bumped Seq)
+// against the new server. Delivered increments are never re-fetched.
+type FailoverClient struct {
+	resolver *Resolver
+	params   avis.Params
+	sid      string
+
+	ioTimeout   time.Duration
+	dialTimeout time.Duration
+	bw          float64
+	demandCPU   float64
+	demandMem   int64
+	maxFail     int
+	roundHook   func(img, round int)
+
+	cur    *avis.RealClient
+	nodeID string
+	sig    string
+	failed []string
+	epoch  time.Time
+	stats  []avis.ImageStat
+
+	reg        *metrics.Registry
+	mFailovers *metrics.Counter
+}
+
+// FailoverOption customizes a FailoverClient.
+type FailoverOption func(*FailoverClient)
+
+// WithIOTimeout sets the per-frame progress deadline on data connections.
+// Without it a dead server blocks forever and failover never triggers, so
+// DialFailover defaults to 5s; pass 0 explicitly to wait forever.
+func WithIOTimeout(d time.Duration) FailoverOption {
+	return func(f *FailoverClient) { f.ioTimeout = d }
+}
+
+// WithBandwidth shapes each data connection to bytesPerSec (0 = unshaped).
+func WithBandwidth(bytesPerSec float64) FailoverOption {
+	return func(f *FailoverClient) { f.bw = bytesPerSec }
+}
+
+// WithSessionDemand declares the per-session resource demand presented to
+// admission control (CPU as a share of one node, mem in bytes).
+func WithSessionDemand(cpu float64, memBytes int64) FailoverOption {
+	return func(f *FailoverClient) { f.demandCPU, f.demandMem = cpu, memBytes }
+}
+
+// WithMaxFailovers bounds how many node failures one image fetch survives
+// (default 3).
+func WithMaxFailovers(n int) FailoverOption {
+	return func(f *FailoverClient) { f.maxFail = n }
+}
+
+// WithRoundHook installs a callback invoked before each round request —
+// progress reporting for UIs, and the hook fault-injection tests use to
+// kill a server at a chosen point in the stream.
+func WithRoundHook(fn func(img, round int)) FailoverOption {
+	return func(f *FailoverClient) { f.roundHook = fn }
+}
+
+// DialFailover resolves a server through the coordinator and connects.
+func DialFailover(r *Resolver, params avis.Params, opts ...FailoverOption) (*FailoverClient, error) {
+	var sid [8]byte
+	if _, err := rand.Read(sid[:]); err != nil {
+		return nil, fmt.Errorf("cluster: session id: %w", err)
+	}
+	f := &FailoverClient{
+		resolver:    r,
+		params:      params,
+		sid:         hex.EncodeToString(sid[:]),
+		ioTimeout:   5 * time.Second,
+		dialTimeout: 5 * time.Second,
+		maxFail:     3,
+		epoch:       time.Now(),
+	}
+	for _, o := range opts {
+		o(f)
+	}
+	if err := f.connect(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// EnableMetrics instruments the client: avis_failovers_total on top of
+// the usual avis_* client families (re-bound to each replacement
+// connection).
+func (f *FailoverClient) EnableMetrics(reg *metrics.Registry) {
+	f.reg = reg
+	f.mFailovers = reg.Counter("avis_failovers_total",
+		"Sessions re-established on a replacement server after a node failure.")
+	if f.cur != nil {
+		f.cur.EnableMetrics(reg)
+	}
+}
+
+// connect resolves and dials the session's current server.
+func (f *FailoverClient) connect() error {
+	grant, err := f.resolver.Resolve(ResolveRequest{
+		SID:      f.sid,
+		Exclude:  f.failed,
+		CPU:      f.demandCPU,
+		MemBytes: f.demandMem,
+		Sig:      f.sig,
+	})
+	if err != nil {
+		return err
+	}
+	conn, err := net.DialTimeout("tcp", grant.Addr, f.dialTimeout)
+	if err != nil {
+		return fmt.Errorf("cluster: dial node %s (%s): %w", grant.NodeID, grant.Addr, err)
+	}
+	c, err := avis.NewRealClient(avis.Shape(conn, f.bw), f.params)
+	if err != nil {
+		conn.Close()
+		return err
+	}
+	c.SetIOTimeout(f.ioTimeout)
+	if f.reg != nil {
+		c.EnableMetrics(f.reg)
+	}
+	// Connect replays the session's protocol state onto the new server:
+	// the hello handshake plus the codec announcement from params.
+	if err := c.Connect(); err != nil {
+		conn.Close()
+		return err
+	}
+	f.cur = c
+	f.nodeID = grant.NodeID
+	if f.sig == "" {
+		// Pin the session to this image store so every failover target can
+		// replay it.
+		f.sig = grant.Sig
+	}
+	return nil
+}
+
+// failover marks the current node failed and reconnects elsewhere.
+func (f *FailoverClient) failover() error {
+	f.failed = append(f.failed, f.nodeID)
+	if f.cur != nil {
+		_ = f.cur.Close() // best effort on a dead connection
+		f.cur = nil
+	}
+	if err := f.connect(); err != nil {
+		return err
+	}
+	f.mFailovers.Inc()
+	return nil
+}
+
+// connFailure distinguishes a dead or unreachable peer (worth a failover)
+// from an application-level refusal (not retried: the replacement server
+// would refuse identically).
+func connFailure(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, avis.ErrIOTimeout) ||
+		errors.Is(err, io.EOF) ||
+		errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, net.ErrClosed) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne)
+}
+
+// Geometry returns the current server's announced geometry.
+func (f *FailoverClient) Geometry() avis.Geometry { return f.cur.Geometry() }
+
+// Node returns the ID of the node currently serving the session.
+func (f *FailoverClient) Node() string { return f.nodeID }
+
+// Failovers returns how many times the session has been re-placed.
+func (f *FailoverClient) Failovers() int { return len(f.failed) }
+
+// Stats returns per-image statistics.
+func (f *FailoverClient) Stats() []avis.ImageStat { return f.stats }
+
+// SetParams updates dR, codec, and level for subsequent fetches.
+func (f *FailoverClient) SetParams(p avis.Params) error {
+	if err := f.cur.SetParams(p); err != nil {
+		return err
+	}
+	f.params = p
+	return nil
+}
+
+// FetchImage downloads one image progressively, surviving up to
+// WithMaxFailovers node deaths: an interrupted round is replayed on a
+// replacement server and the transmission continues where it stopped.
+func (f *FailoverClient) FetchImage(img int, canvas *wavelet.Canvas) (avis.ImageStat, error) {
+	geom := f.cur.Geometry()
+	plan := avis.PlanRounds(geom, f.params, img, 0)
+	stat := avis.ImageStat{
+		Image: img, Level: f.params.Level, Codec: f.params.Codec, DR: f.params.DR,
+		Start: time.Since(f.epoch),
+	}
+	start := time.Now()
+	var respSum time.Duration
+	attempts := 0
+	for i := 0; i < len(plan); {
+		req := plan[i]
+		req.Seq = attempts
+		if f.roundHook != nil {
+			f.roundHook(img, i)
+		}
+		t0 := time.Now()
+		raw, wire, err := f.cur.FetchRound(req, canvas)
+		if err != nil {
+			if !connFailure(err) {
+				return stat, err
+			}
+			attempts++
+			if attempts > f.maxFail {
+				return stat, fmt.Errorf("cluster: image %d: giving up after %d failovers: %w", img, f.maxFail, err)
+			}
+			if ferr := f.failover(); ferr != nil {
+				return stat, fmt.Errorf("cluster: failover after %v: %w", err, ferr)
+			}
+			if g := f.cur.Geometry(); g != geom {
+				return stat, fmt.Errorf("cluster: replacement node geometry %+v differs from %+v", g, geom)
+			}
+			continue // replay the interrupted round on the new server
+		}
+		stat.RawBytes += int64(raw)
+		stat.WireBytes += int64(wire)
+		stat.Rounds++
+		respSum += time.Since(t0)
+		i++
+	}
+	stat.TransmitTime = time.Since(start)
+	if stat.Rounds > 0 {
+		stat.AvgResponse = respSum / time.Duration(stat.Rounds)
+	}
+	f.stats = append(f.stats, stat)
+	return stat, nil
+}
+
+// Close ends the session on both planes: the data connection and the
+// coordinator's reservation.
+func (f *FailoverClient) Close() error {
+	var err error
+	if f.cur != nil {
+		err = f.cur.Close()
+		f.cur = nil
+	}
+	if eerr := f.resolver.EndSession(f.sid); eerr != nil && err == nil {
+		err = eerr
+	}
+	return err
+}

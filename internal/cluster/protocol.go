@@ -1,0 +1,203 @@
+package cluster
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"tunable/internal/avis"
+)
+
+// Control-plane wire protocol: each message is one avis frame whose first
+// byte is a type tag and whose remainder is JSON. The control plane runs
+// at heartbeat rate, not data rate, so self-describing bodies win over
+// hand-packed binary; the framing and timeout discipline stay shared with
+// the data plane (a wedged coordinator surfaces as avis.ErrIOTimeout).
+const (
+	ctagRegister   = 'g' // agent → coord: NodeInfo
+	ctagHeartbeat  = 'b' // agent → coord: heartbeatMsg
+	ctagDeregister = 'd' // agent → coord: nodeIDMsg (clean leave)
+	ctagResolve    = 'v' // client → coord: ResolveRequest
+	ctagEndSession = 'e' // client → coord: sessionMsg
+	ctagNodes      = 'n' // anyone → coord: registry listing
+	ctagAck        = 'a' // coord → caller: ackMsg
+)
+
+type heartbeatMsg struct {
+	ID   string `json:"id"`
+	Load Load   `json:"load"`
+}
+
+type nodeIDMsg struct {
+	ID string `json:"id"`
+}
+
+type sessionMsg struct {
+	SID string `json:"sid"`
+}
+
+// ResolveRequest asks the coordinator to place (or re-place) a session.
+type ResolveRequest struct {
+	SID     string   `json:"sid"`
+	Exclude []string `json:"exclude,omitempty"` // nodes the client saw fail
+	// Per-session resource demand for admission control; CPU ≤ 0 takes
+	// DefaultSessionShare, MemBytes 0 reserves no explicit memory.
+	CPU      float64 `json:"cpu,omitempty"`
+	MemBytes int64   `json:"mem,omitempty"`
+	// Sig pins the session to nodes serving this image store ("" = any).
+	Sig string `json:"sig,omitempty"`
+}
+
+// ResolveGrant is the coordinator's placement answer.
+type ResolveGrant struct {
+	NodeID   string `json:"node"`
+	Addr     string `json:"addr"`
+	Sig      string `json:"sig"`
+	Failover bool   `json:"failover"` // true when this re-placed an existing session
+}
+
+// ackMsg is the single coordinator reply shape; fields beyond OK/Err are
+// populated per request type.
+type ackMsg struct {
+	OK    bool         `json:"ok"`
+	Err   string       `json:"err,omitempty"`
+	Known bool         `json:"known,omitempty"` // heartbeat: node is registered and not dead
+	Grant ResolveGrant `json:"grant,omitempty"`
+	Nodes []NodeStatus `json:"nodes,omitempty"`
+}
+
+// encodeCtrl renders tag + JSON body. Marshalling these closed types
+// cannot fail; a panic here is a programming error, not a runtime case.
+func encodeCtrl(tag byte, v any) []byte {
+	body, err := json.Marshal(v)
+	if err != nil {
+		panic(fmt.Sprintf("cluster: encode %c: %v", tag, err))
+	}
+	return append([]byte{tag}, body...)
+}
+
+// decodeCtrl unmarshals a frame body (everything after the tag).
+func decodeCtrl(msg []byte, v any) error {
+	if len(msg) < 1 {
+		return fmt.Errorf("cluster: empty control frame")
+	}
+	if err := json.Unmarshal(msg[1:], v); err != nil {
+		return fmt.Errorf("cluster: malformed %c frame: %w", msg[0], err)
+	}
+	return nil
+}
+
+// ctrlConn is one request/reply control-plane connection. Calls are
+// serialized; both the agent and the resolver keep one alive and redial
+// lazily on failure.
+type ctrlConn struct {
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+// dialCtrl connects to the coordinator. timeout bounds the dial and, when
+// positive, becomes the per-frame progress deadline of every later call.
+func dialCtrl(addr string, timeout time.Duration) (*ctrlConn, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: dial coordinator %s: %w", addr, err)
+	}
+	rw := avis.NewDeadlineRW(conn, timeout)
+	return &ctrlConn{
+		conn: conn,
+		r:    bufio.NewReaderSize(rw, 4<<10),
+		w:    bufio.NewWriterSize(rw, 4<<10),
+	}, nil
+}
+
+// call sends one request frame and decodes the coordinator's ack. An ack
+// with OK=false is returned as an error.
+func (c *ctrlConn) call(req []byte, timeout time.Duration) (ackMsg, error) {
+	if err := avis.WriteFrame(c.w, req); err != nil {
+		return ackMsg{}, avis.WrapTimeout("write", timeout, err)
+	}
+	if err := c.w.Flush(); err != nil {
+		return ackMsg{}, avis.WrapTimeout("write", timeout, err)
+	}
+	msg, err := avis.ReadFrame(c.r)
+	if err != nil {
+		return ackMsg{}, avis.WrapTimeout("read", timeout, err)
+	}
+	if len(msg) < 1 || msg[0] != ctagAck {
+		return ackMsg{}, fmt.Errorf("cluster: unexpected reply frame")
+	}
+	var ack ackMsg
+	if err := decodeCtrl(msg, &ack); err != nil {
+		return ackMsg{}, err
+	}
+	if !ack.OK {
+		return ack, fmt.Errorf("cluster: coordinator refused: %s", ack.Err)
+	}
+	return ack, nil
+}
+
+func (c *ctrlConn) close() {
+	if c != nil {
+		_ = c.conn.Close()
+	}
+}
+
+// client is the shared redial-on-failure call loop under Agent and
+// Resolver: one persistent connection, re-established at most once per
+// call.
+type client struct {
+	addr    string
+	timeout time.Duration
+
+	mu sync.Mutex
+	cc *ctrlConn
+}
+
+func newClient(addr string, timeout time.Duration) *client {
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	return &client{addr: addr, timeout: timeout}
+}
+
+// call issues one request, redialing once if the cached connection broke.
+func (c *client) call(req []byte) (ackMsg, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	fresh := false
+	if c.cc == nil {
+		cc, err := dialCtrl(c.addr, c.timeout)
+		if err != nil {
+			return ackMsg{}, err
+		}
+		c.cc, fresh = cc, true
+	}
+	ack, err := c.cc.call(req, c.timeout)
+	if err != nil && !ack.OK && ack.Err == "" && !fresh {
+		// Transport failure on a stale connection: redial and retry once.
+		c.cc.close()
+		cc, derr := dialCtrl(c.addr, c.timeout)
+		if derr != nil {
+			c.cc = nil
+			return ackMsg{}, err
+		}
+		c.cc = cc
+		ack, err = c.cc.call(req, c.timeout)
+	}
+	if err != nil && ack.Err == "" {
+		c.cc.close()
+		c.cc = nil
+	}
+	return ack, err
+}
+
+func (c *client) close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cc.close()
+	c.cc = nil
+}

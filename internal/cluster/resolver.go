@@ -1,0 +1,45 @@
+package cluster
+
+import (
+	"time"
+)
+
+// Resolver is the client-side stub of the coordinator: it turns a session
+// ID into a server address, reporting failed nodes back so re-resolution
+// steers around them, and releases the session's reservation on Close.
+type Resolver struct {
+	cl *client
+}
+
+// NewResolver creates a resolver for the coordinator at addr. timeout
+// bounds each control call (dial + frame progress); 0 picks 5s.
+func NewResolver(addr string, timeout time.Duration) *Resolver {
+	return &Resolver{cl: newClient(addr, timeout)}
+}
+
+// Resolve asks the coordinator to place the session.
+func (r *Resolver) Resolve(req ResolveRequest) (ResolveGrant, error) {
+	ack, err := r.cl.call(encodeCtrl(ctagResolve, req))
+	if err != nil {
+		return ResolveGrant{}, err
+	}
+	return ack.Grant, nil
+}
+
+// EndSession releases the session's reservation on the coordinator.
+func (r *Resolver) EndSession(sid string) error {
+	_, err := r.cl.call(encodeCtrl(ctagEndSession, sessionMsg{SID: sid}))
+	return err
+}
+
+// Nodes fetches the coordinator's registry view.
+func (r *Resolver) Nodes() ([]NodeStatus, error) {
+	ack, err := r.cl.call(encodeCtrl(ctagNodes, struct{}{}))
+	if err != nil {
+		return nil, err
+	}
+	return ack.Nodes, nil
+}
+
+// Close releases the control connection.
+func (r *Resolver) Close() { r.cl.close() }

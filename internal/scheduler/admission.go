@@ -50,6 +50,16 @@ func (a *Admission) AddHost(h *sandbox.Host) error {
 	return nil
 }
 
+// RemoveHost unregisters a host (a node left the cluster or died),
+// reporting whether it was present. Outstanding reservations that placed
+// sandboxes on the host remain valid handles: Release frees them through
+// the sandbox's own host pointer, independent of this map.
+func (a *Admission) RemoveHost(name string) bool {
+	_, ok := a.hosts[name]
+	delete(a.hosts, name)
+	return ok
+}
+
 // Host returns a registered host.
 func (a *Admission) Host(name string) (*sandbox.Host, bool) {
 	h, ok := a.hosts[name]
@@ -107,36 +117,61 @@ func (r *Reservation) Release() {
 // component is admitted, or none is and the error names the component
 // that failed.
 func (a *Admission) Reserve(name string, requests map[string]resource.Vector) (*Reservation, error) {
-	// Deterministic order for reproducible failure attribution.
-	comps := make([]string, 0, len(requests))
-	for c := range requests {
-		comps = append(comps, c)
+	placements := make([]Placement, 0, len(requests))
+	for comp, want := range requests {
+		placements = append(placements, Placement{Component: comp, Host: comp, Want: want})
 	}
-	sort.Strings(comps)
+	return a.ReservePlaced(name, placements)
+}
+
+// Placement assigns one named component of a distributed application to a
+// host with a resource demand (resource.CPU as a share, resource.Memory
+// as bytes). Unlike Reserve's component-name-is-host-name convention,
+// placements let several components land on the same host — the shape the
+// cluster coordinator needs when it places sessions onto avis nodes.
+type Placement struct {
+	Component string
+	Host      string
+	Want      resource.Vector
+}
+
+// ReservePlaced admits an application named name onto the assigned hosts,
+// all-or-nothing across every placement (the multi-node grant of Section
+// 6.2): either every component is admitted, or none is — a partial
+// failure rolls back the sandboxes already created — and the error names
+// the component that failed.
+func (a *Admission) ReservePlaced(name string, placements []Placement) (*Reservation, error) {
+	// Deterministic order for reproducible failure attribution.
+	ps := append([]Placement(nil), placements...)
+	sort.Slice(ps, func(i, j int) bool { return ps[i].Component < ps[j].Component })
 	r := &Reservation{name: name, byComp: make(map[string]*sandbox.Sandbox)}
-	for _, comp := range comps {
-		want := requests[comp]
-		host, ok := a.hosts[comp]
+	for _, pl := range ps {
+		if _, dup := r.byComp[pl.Component]; dup {
+			r.Release()
+			a.mRejected.Inc()
+			return nil, fmt.Errorf("scheduler: duplicate component %q in placement", pl.Component)
+		}
+		host, ok := a.hosts[pl.Host]
 		if !ok {
 			r.Release()
 			a.mRejected.Inc()
-			return nil, fmt.Errorf("scheduler: no host %q registered", comp)
+			return nil, fmt.Errorf("scheduler: no host %q registered", pl.Host)
 		}
-		share := want.Get(resource.CPU, 0)
+		share := pl.Want.Get(resource.CPU, 0)
 		if share <= 0 {
 			r.Release()
 			a.mRejected.Inc()
-			return nil, fmt.Errorf("scheduler: component %q requests no CPU", comp)
+			return nil, fmt.Errorf("scheduler: component %q requests no CPU", pl.Component)
 		}
-		mem := int64(want.Get(resource.Memory, 0))
-		sb, err := host.NewSandbox(name+"@"+comp, share, mem)
+		mem := int64(pl.Want.Get(resource.Memory, 0))
+		sb, err := host.NewSandbox(name+"@"+pl.Component, share, mem)
 		if err != nil {
 			r.Release()
 			a.mRejected.Inc()
-			return nil, fmt.Errorf("scheduler: admission failed for %q: %w", comp, err)
+			return nil, fmt.Errorf("scheduler: admission failed for %q: %w", pl.Component, err)
 		}
 		r.admitted = append(r.admitted, sb)
-		r.byComp[comp] = sb
+		r.byComp[pl.Component] = sb
 	}
 	a.mAccepted.Inc()
 	return r, nil

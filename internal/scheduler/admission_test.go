@@ -126,6 +126,83 @@ func TestAddHostDuplicate(t *testing.T) {
 	}
 }
 
+// ReservePlaced decouples component names from host names: several
+// components may land on the same host, and the grant is all-or-nothing
+// across every placement.
+func TestReservePlacedMultiComponent(t *testing.T) {
+	a, client, server := admissionRig(t)
+	r, err := a.ReservePlaced("avis", []Placement{
+		{Component: "coord", Host: "server", Want: resource.Vector{resource.CPU: 0.1}},
+		{Component: "sess-1", Host: "server", Want: resource.Vector{resource.CPU: 0.3}},
+		{Component: "sess-2", Host: "client", Want: resource.Vector{resource.CPU: 0.2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Components(); len(got) != 3 || got[0] != "coord" {
+		t.Fatalf("components %v", got)
+	}
+	if math.Abs(server.Reserved()-0.4) > 1e-9 || math.Abs(client.Reserved()-0.2) > 1e-9 {
+		t.Fatalf("reservations client=%.2f server=%.2f", client.Reserved(), server.Reserved())
+	}
+	r.Release()
+	if math.Abs(client.Reserved()) > 1e-9 || math.Abs(server.Reserved()) > 1e-9 {
+		t.Fatal("release incomplete")
+	}
+}
+
+func TestReservePlacedAllOrNothing(t *testing.T) {
+	a, client, server := admissionRig(t)
+	// The third placement oversubscribes the server: everything rolls back.
+	_, err := a.ReservePlaced("avis", []Placement{
+		{Component: "a", Host: "client", Want: resource.Vector{resource.CPU: 0.5}},
+		{Component: "b", Host: "server", Want: resource.Vector{resource.CPU: 0.6}},
+		{Component: "c", Host: "server", Want: resource.Vector{resource.CPU: 0.6}},
+	})
+	if err == nil {
+		t.Fatal("oversubscribed multi-node grant admitted")
+	}
+	if client.Reserved() != 0 || server.Reserved() != 0 {
+		t.Fatalf("rollback left client=%.2f server=%.2f", client.Reserved(), server.Reserved())
+	}
+	// Duplicate component names are a caller bug, rejected atomically.
+	_, err = a.ReservePlaced("avis", []Placement{
+		{Component: "a", Host: "client", Want: resource.Vector{resource.CPU: 0.1}},
+		{Component: "a", Host: "server", Want: resource.Vector{resource.CPU: 0.1}},
+	})
+	if err == nil {
+		t.Fatal("duplicate component admitted")
+	}
+	if client.Reserved() != 0 || server.Reserved() != 0 {
+		t.Fatal("duplicate-component rollback incomplete")
+	}
+}
+
+func TestRemoveHost(t *testing.T) {
+	a, client, _ := admissionRig(t)
+	r, err := a.Reserve("x", map[string]resource.Vector{"client": {resource.CPU: 0.3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.RemoveHost("client") {
+		t.Fatal("RemoveHost missed a registered host")
+	}
+	if a.RemoveHost("client") {
+		t.Fatal("RemoveHost found a removed host")
+	}
+	if _, ok := a.Host("client"); ok {
+		t.Fatal("removed host still resolvable")
+	}
+	// The outstanding reservation still releases through its own handle.
+	r.Release()
+	if client.Reserved() != 0 {
+		t.Fatalf("release after RemoveHost left %.2f", client.Reserved())
+	}
+	if _, err := a.Reserve("y", map[string]resource.Vector{"client": {resource.CPU: 0.1}}); err == nil {
+		t.Fatal("reservation on removed host admitted")
+	}
+}
+
 // Two admitted applications must each receive exactly their reserved share
 // (the policing property the reservation exists for).
 func TestReservedSharesPoliced(t *testing.T) {

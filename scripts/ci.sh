@@ -12,6 +12,13 @@ go build ./...
 echo "== go vet ./..."
 go vet ./...
 
+# Fast fail on the cluster control plane: the failover e2e test is the
+# most concurrency-heavy spot in the repo, so run it (and the avis
+# drain/concurrency tests) under -race before committing to the long
+# full-suite run below.
+echo "== go test -race ./internal/cluster ./internal/avis (quick gate)"
+go test -race -timeout 5m ./internal/cluster ./internal/avis
+
 # The race detector slows the channel-heavy virtual-time experiments well
 # past the default 10m per-package test timeout, so raise it; wall-clock
 # cost is still dominated by internal/expt (skippable with -short).
