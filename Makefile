@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build bin vet test race ci bench
+.PHONY: all build bin vet lint test race ci bench
 
 all: build
 
@@ -18,6 +18,16 @@ bin:
 
 vet:
 	$(GO) vet ./...
+
+# vet plus staticcheck when installed; CI always installs it, local runs
+# degrade gracefully so the gate never needs network access.
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		echo "== staticcheck ./..."; \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
 
 test:
 	$(GO) test ./...

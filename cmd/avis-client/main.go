@@ -54,6 +54,10 @@ func main() {
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /healthz on this address (empty = disabled)")
 	ioTimeout := flag.Duration("io-timeout", 0, "fail a frame read/write that makes no progress for this long (0 = wait forever)")
 	sessCPU := flag.Float64("session-cpu", 0, "CPU share demanded from cluster admission control (0 = coordinator default)")
+	maxFailovers := flag.Int("max-failovers", 3, "node failures one image fetch survives before giving up (with -coord)")
+	failoverBackoff := flag.Duration("failover-backoff", 100*time.Millisecond, "base of the jittered exponential backoff between failover attempts (with -coord)")
+	retryBudget := flag.Int("retry-budget", 0, "total retry tokens for the session, 0 = unlimited (with -coord)")
+	retryBudgetRate := flag.Float64("retry-budget-rate", 0, "retry tokens refilled per second (with -retry-budget)")
 	flag.Parse()
 
 	var reg *metrics.Registry
@@ -75,9 +79,16 @@ func main() {
 		opts := []cluster.FailoverOption{
 			cluster.WithBandwidth(*bw),
 			cluster.WithSessionDemand(*sessCPU, 0),
+			cluster.WithMaxFailovers(*maxFailovers),
+			cluster.WithFailoverBackoff(cluster.Backoff{
+				Base: *failoverBackoff, Max: 20 * *failoverBackoff, Factor: 2, Jitter: 0.5,
+			}),
 		}
 		if *ioTimeout > 0 {
 			opts = append(opts, cluster.WithIOTimeout(*ioTimeout))
+		}
+		if *retryBudget > 0 {
+			opts = append(opts, cluster.WithRetryBudget(cluster.NewRetryBudget(*retryBudget, *retryBudgetRate)))
 		}
 		fc, err := cluster.DialFailover(resolver, params, opts...)
 		if err != nil {

@@ -4,7 +4,10 @@ import (
 	"fmt"
 	"log"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"tunable/internal/metrics"
 )
 
 // Agent is the node-side half of the registry: it registers a server with
@@ -21,6 +24,14 @@ type Agent struct {
 	stopOnce sync.Once
 	stop     chan struct{}
 	done     chan struct{}
+
+	// consecutive heartbeat failures; reset on the first beat that lands.
+	// Read by tests through MissedBeats.
+	missed atomic.Int64
+
+	// telemetry instruments; nil (no-op) unless EnableMetrics ran
+	mBeatFailures *metrics.Counter
+	mRejoins      *metrics.Counter
 }
 
 // NewAgent creates an agent for the given node. load is polled before
@@ -48,6 +59,36 @@ func NewAgent(coordAddr string, node NodeInfo, interval time.Duration, load func
 		done:     make(chan struct{}),
 	}
 }
+
+// EnableMetrics instruments the agent: cluster_ctrl_retries_total
+// (role="agent") counts transparently retried control calls,
+// cluster_heartbeat_failures_total counts beats that failed after
+// retries, and cluster_rejoins_total counts re-registrations after the
+// coordinator forgot (or declared dead) this node.
+func (a *Agent) EnableMetrics(reg *metrics.Registry) {
+	a.cl.mu.Lock()
+	a.cl.mRetries = reg.Counter("cluster_ctrl_retries_total",
+		"Control-plane calls transparently retried after a transport failure.",
+		metrics.L("role", "agent"))
+	a.cl.mu.Unlock()
+	a.mBeatFailures = reg.Counter("cluster_heartbeat_failures_total",
+		"Heartbeats that failed even after retries.")
+	a.mRejoins = reg.Counter("cluster_rejoins_total",
+		"Re-registrations after the coordinator lost this node.")
+}
+
+// SetRetryPolicy bounds the transparent retries under each control call:
+// attempts per call (including the first), backoff between them, and an
+// optional shared retry budget.
+func (a *Agent) SetRetryPolicy(attempts int, b Backoff, budget *RetryBudget) {
+	a.cl.setRetryPolicy(attempts, b, budget)
+}
+
+// SetDialer interposes on control-plane dials (fault injection).
+func (a *Agent) SetDialer(dial DialFunc) { a.cl.setDialer(dial) }
+
+// MissedBeats reports the current run of consecutive failed heartbeats.
+func (a *Agent) MissedBeats() int { return int(a.missed.Load()) }
 
 // Start registers the node synchronously — failing fast if the
 // coordinator is unreachable or refuses the registration — then begins
@@ -77,13 +118,25 @@ func (a *Agent) run() {
 		case <-t.C:
 			ack, err := a.cl.call(encodeCtrl(ctagHeartbeat, heartbeatMsg{ID: a.node.ID, Load: a.load()}))
 			if err != nil {
-				log.Printf("cluster: agent %s: heartbeat: %v", a.node.ID, err)
+				// The call layer already retried with backoff; a failure here
+				// means the coordinator is unreachable (partition, crash).
+				// Keep beating at interval pace — when the partition heals the
+				// Known=false answer below triggers the rejoin — but log only
+				// the first miss of a run so a long partition is one line, not
+				// a flood.
+				if a.missed.Add(1) == 1 {
+					log.Printf("cluster: agent %s: heartbeat: %v", a.node.ID, err)
+				}
+				a.mBeatFailures.Inc()
 				continue
 			}
+			a.missed.Store(0)
 			if !ack.Known {
 				// Coordinator restarted or declared us dead: rejoin.
 				if err := a.register(); err != nil {
 					log.Printf("cluster: agent %s: re-register: %v", a.node.ID, err)
+				} else {
+					a.mRejoins.Inc()
 				}
 			}
 		}

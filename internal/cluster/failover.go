@@ -32,17 +32,22 @@ type FailoverClient struct {
 	demandCPU   float64
 	demandMem   int64
 	maxFail     int
+	backoff     Backoff
+	budget      *RetryBudget
+	dial        func(nodeID, addr string, timeout time.Duration) (net.Conn, error)
 	roundHook   func(img, round int)
 
-	cur    *avis.RealClient
-	nodeID string
-	sig    string
-	failed []string
-	epoch  time.Time
-	stats  []avis.ImageStat
+	cur     *avis.RealClient
+	nodeID  string
+	sig     string
+	failed  []string
+	epoch   time.Time
+	stats   []avis.ImageStat
+	retries int64
 
 	reg        *metrics.Registry
 	mFailovers *metrics.Counter
+	mRetries   *metrics.Counter
 }
 
 // FailoverOption customizes a FailoverClient.
@@ -72,6 +77,27 @@ func WithMaxFailovers(n int) FailoverOption {
 	return func(f *FailoverClient) { f.maxFail = n }
 }
 
+// WithFailoverBackoff sets the jittered exponential backoff slept between
+// failover attempts (default DefaultBackoff). A crashed node's sessions
+// all re-resolve at once; the jitter keeps them from stampeding the
+// coordinator and the replacement server in lock-step.
+func WithFailoverBackoff(b Backoff) FailoverOption {
+	return func(f *FailoverClient) { f.backoff = b }
+}
+
+// WithRetryBudget caps the total retry spend of the session across all
+// fetches (nil, the default, is unlimited). When the budget runs dry the
+// next failure surfaces immediately instead of burning more attempts.
+func WithRetryBudget(rb *RetryBudget) FailoverOption {
+	return func(f *FailoverClient) { f.budget = rb }
+}
+
+// WithDialer interposes on data-plane dials — the seam the fault-injection
+// layer uses to wrap each per-node connection (nodeID scopes the faults).
+func WithDialer(dial func(nodeID, addr string, timeout time.Duration) (net.Conn, error)) FailoverOption {
+	return func(f *FailoverClient) { f.dial = dial }
+}
+
 // WithRoundHook installs a callback invoked before each round request —
 // progress reporting for UIs, and the hook fault-injection tests use to
 // kill a server at a chosen point in the stream.
@@ -92,6 +118,7 @@ func DialFailover(r *Resolver, params avis.Params, opts ...FailoverOption) (*Fai
 		ioTimeout:   5 * time.Second,
 		dialTimeout: 5 * time.Second,
 		maxFail:     3,
+		backoff:     DefaultBackoff(),
 		epoch:       time.Now(),
 	}
 	for _, o := range opts {
@@ -110,6 +137,8 @@ func (f *FailoverClient) EnableMetrics(reg *metrics.Registry) {
 	f.reg = reg
 	f.mFailovers = reg.Counter("avis_failovers_total",
 		"Sessions re-established on a replacement server after a node failure.")
+	f.mRetries = reg.Counter("avis_round_retries_total",
+		"Interrupted rounds replayed after a connection failure.")
 	if f.cur != nil {
 		f.cur.EnableMetrics(reg)
 	}
@@ -127,7 +156,12 @@ func (f *FailoverClient) connect() error {
 	if err != nil {
 		return err
 	}
-	conn, err := net.DialTimeout("tcp", grant.Addr, f.dialTimeout)
+	var conn net.Conn
+	if f.dial != nil {
+		conn, err = f.dial(grant.NodeID, grant.Addr, f.dialTimeout)
+	} else {
+		conn, err = net.DialTimeout("tcp", grant.Addr, f.dialTimeout)
+	}
 	if err != nil {
 		return fmt.Errorf("cluster: dial node %s (%s): %w", grant.NodeID, grant.Addr, err)
 	}
@@ -196,6 +230,9 @@ func (f *FailoverClient) Node() string { return f.nodeID }
 // Failovers returns how many times the session has been re-placed.
 func (f *FailoverClient) Failovers() int { return len(f.failed) }
 
+// Retries returns how many interrupted rounds the session has replayed.
+func (f *FailoverClient) Retries() int { return int(f.retries) }
+
 // Stats returns per-image statistics.
 func (f *FailoverClient) Stats() []avis.ImageStat { return f.stats }
 
@@ -237,6 +274,14 @@ func (f *FailoverClient) FetchImage(img int, canvas *wavelet.Canvas) (avis.Image
 			if attempts > f.maxFail {
 				return stat, fmt.Errorf("cluster: image %d: giving up after %d failovers: %w", img, f.maxFail, err)
 			}
+			if !f.budget.Allow() {
+				return stat, fmt.Errorf("cluster: image %d: retry budget exhausted: %w", img, err)
+			}
+			f.retries++
+			f.mRetries.Inc()
+			// Jittered backoff before re-resolving: every session the dead
+			// node carried is doing this at once.
+			time.Sleep(f.backoff.Delay(attempts - 1))
 			if ferr := f.failover(); ferr != nil {
 				return stat, fmt.Errorf("cluster: failover after %v: %w", err, ferr)
 			}

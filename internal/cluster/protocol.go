@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"tunable/internal/avis"
+	"tunable/internal/metrics"
 )
 
 // Control-plane wire protocol: each message is one avis frame whose first
@@ -146,53 +147,124 @@ func (c *ctrlConn) close() {
 	}
 }
 
-// client is the shared redial-on-failure call loop under Agent and
-// Resolver: one persistent connection, re-established at most once per
-// call.
+// DialFunc dials the coordinator's control port; injectable so the fault
+// layer (or a test) can interpose on every control-plane connection.
+type DialFunc func(network, addr string, timeout time.Duration) (net.Conn, error)
+
+// client is the shared retry loop under Agent and Resolver: one persistent
+// connection, re-established with jittered exponential backoff under a
+// retry budget when calls fail in transport. Application-level refusals
+// (the coordinator answered, but said no) are never retried — a
+// replacement attempt would be refused identically.
 type client struct {
 	addr    string
 	timeout time.Duration
 
-	mu sync.Mutex
-	cc *ctrlConn
+	mu       sync.Mutex
+	cc       *ctrlConn
+	dial     DialFunc
+	attempts int // per-call cap, including the first try
+	backoff  Backoff
+	budget   *RetryBudget
+	mRetries *metrics.Counter
 }
 
 func newClient(addr string, timeout time.Duration) *client {
 	if timeout <= 0 {
 		timeout = 5 * time.Second
 	}
-	return &client{addr: addr, timeout: timeout}
+	return &client{
+		addr:     addr,
+		timeout:  timeout,
+		attempts: 2, // one transparent retry by default, as before
+		backoff:  DefaultBackoff(),
+	}
 }
 
-// call issues one request, redialing once if the cached connection broke.
+// setRetryPolicy reconfigures the per-call retry loop. attempts includes
+// the first try; values below 1 are clamped to 1 (no retries).
+func (c *client) setRetryPolicy(attempts int, b Backoff, budget *RetryBudget) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if attempts < 1 {
+		attempts = 1
+	}
+	c.attempts = attempts
+	c.backoff = b
+	c.budget = budget
+}
+
+func (c *client) setDialer(dial DialFunc) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.dial = dial
+}
+
+func (c *client) dialCtrl() (*ctrlConn, error) {
+	if c.dial == nil {
+		return dialCtrl(c.addr, c.timeout)
+	}
+	conn, err := c.dial("tcp", c.addr, c.timeout)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: dial coordinator %s: %w", c.addr, err)
+	}
+	rw := avis.NewDeadlineRW(conn, c.timeout)
+	return &ctrlConn{
+		conn: conn,
+		r:    bufio.NewReaderSize(rw, 4<<10),
+		w:    bufio.NewWriterSize(rw, 4<<10),
+	}, nil
+}
+
+// retryAfter decides whether attempt+1 may run, spending budget and
+// sleeping the backoff delay if so. Each attempt already carries its own
+// deadline (the dial timeout plus the per-frame progress deadline), so the
+// whole call is bounded by attempts·(timeout+backoff).
+func (c *client) retryAfter(attempt int) bool {
+	if attempt+1 >= c.attempts {
+		return false
+	}
+	if !c.budget.Allow() {
+		return false
+	}
+	c.mRetries.Inc()
+	time.Sleep(c.backoff.Delay(attempt))
+	return true
+}
+
+// call issues one request, retrying transport failures (broken cached
+// connections, failed dials, timed-out frames) under the retry policy.
 func (c *client) call(req []byte) (ackMsg, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	fresh := false
-	if c.cc == nil {
-		cc, err := dialCtrl(c.addr, c.timeout)
-		if err != nil {
-			return ackMsg{}, err
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if c.cc == nil {
+			cc, err := c.dialCtrl()
+			if err != nil {
+				lastErr = err
+				if !c.retryAfter(attempt) {
+					return ackMsg{}, lastErr
+				}
+				continue
+			}
+			c.cc = cc
 		}
-		c.cc, fresh = cc, true
-	}
-	ack, err := c.cc.call(req, c.timeout)
-	if err != nil && !ack.OK && ack.Err == "" && !fresh {
-		// Transport failure on a stale connection: redial and retry once.
-		c.cc.close()
-		cc, derr := dialCtrl(c.addr, c.timeout)
-		if derr != nil {
-			c.cc = nil
-			return ackMsg{}, err
+		ack, err := c.cc.call(req, c.timeout)
+		if err == nil {
+			return ack, nil
 		}
-		c.cc = cc
-		ack, err = c.cc.call(req, c.timeout)
-	}
-	if err != nil && ack.Err == "" {
+		if ack.Err != "" {
+			// The coordinator refused; the connection is fine.
+			return ack, err
+		}
 		c.cc.close()
 		c.cc = nil
+		lastErr = err
+		if !c.retryAfter(attempt) {
+			return ackMsg{}, lastErr
+		}
 	}
-	return ack, err
 }
 
 func (c *client) close() {

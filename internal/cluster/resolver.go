@@ -2,11 +2,15 @@ package cluster
 
 import (
 	"time"
+
+	"tunable/internal/metrics"
 )
 
 // Resolver is the client-side stub of the coordinator: it turns a session
 // ID into a server address, reporting failed nodes back so re-resolution
 // steers around them, and releases the session's reservation on Close.
+// Transport failures on control calls are retried transparently with
+// jittered backoff (see SetRetryPolicy); coordinator refusals are not.
 type Resolver struct {
 	cl *client
 }
@@ -16,6 +20,24 @@ type Resolver struct {
 func NewResolver(addr string, timeout time.Duration) *Resolver {
 	return &Resolver{cl: newClient(addr, timeout)}
 }
+
+// EnableMetrics instruments the resolver: cluster_ctrl_retries_total
+// (role="resolver") counts transparently retried control calls.
+func (r *Resolver) EnableMetrics(reg *metrics.Registry) {
+	r.cl.mu.Lock()
+	defer r.cl.mu.Unlock()
+	r.cl.mRetries = reg.Counter("cluster_ctrl_retries_total",
+		"Control-plane calls transparently retried after a transport failure.",
+		metrics.L("role", "resolver"))
+}
+
+// SetRetryPolicy bounds the transparent retries under each control call.
+func (r *Resolver) SetRetryPolicy(attempts int, b Backoff, budget *RetryBudget) {
+	r.cl.setRetryPolicy(attempts, b, budget)
+}
+
+// SetDialer interposes on control-plane dials (fault injection).
+func (r *Resolver) SetDialer(dial DialFunc) { r.cl.setDialer(dial) }
 
 // Resolve asks the coordinator to place the session.
 func (r *Resolver) Resolve(req ResolveRequest) (ResolveGrant, error) {

@@ -1,0 +1,152 @@
+package faults
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"tunable/internal/metrics"
+	"tunable/internal/netem"
+	"tunable/internal/vtime"
+)
+
+// Driver applies a Schedule to simulated netem.Links in virtual time.
+// Because the vtime kernel is deterministic, the same schedule against the
+// same simulation replays the exact same fault sequence — virtual
+// timestamps included.
+//
+// Supported kinds: Drop (link loss rate), Latency (added one-way delay),
+// Bandwidth (link rate dip), Partition (loss 1.0 — every frame serialized
+// then dropped). Reset and Pause have no simulated-link analogue and are
+// skipped.
+type Driver struct {
+	sim   *vtime.Sim
+	links map[string]*netem.Link
+	sched Schedule
+	log   []Injected
+
+	// baselines captured at Install time; refresh folds active windows on
+	// top of these at every event boundary.
+	baseBW   map[string]float64
+	baseLat  map[string]time.Duration
+	baseLoss map[string]float64
+
+	reg       *metrics.Registry
+	mInjected map[Kind]*metrics.Counter
+}
+
+// NewDriver prepares a driver over the given labelled links. The schedule
+// must validate. Call Install to arm the events on the simulation clock
+// (offsets are relative to the simulation's current time).
+func NewDriver(sim *vtime.Sim, links map[string]*netem.Link, sched Schedule) (*Driver, error) {
+	if err := sched.Validate(); err != nil {
+		return nil, err
+	}
+	return &Driver{
+		sim:      sim,
+		links:    links,
+		sched:    sched,
+		baseBW:   make(map[string]float64),
+		baseLat:  make(map[string]time.Duration),
+		baseLoss: make(map[string]float64),
+	}, nil
+}
+
+// EnableMetrics instruments the driver with the same faults_injected_total
+// family the Injector exports.
+func (d *Driver) EnableMetrics(reg *metrics.Registry) {
+	d.reg = reg
+	d.mInjected = make(map[Kind]*metrics.Counter)
+}
+
+// Log returns the fault log so far (virtual timestamps).
+func (d *Driver) Log() []Injected { return append([]Injected(nil), d.log...) }
+
+func (d *Driver) record(kind Kind, target, detail string) {
+	d.log = append(d.log, Injected{At: d.sim.Now(), Kind: kind, Target: target, Detail: detail})
+	if d.reg != nil {
+		c, ok := d.mInjected[kind]
+		if !ok {
+			c = d.reg.Counter("faults_injected_total",
+				"Faults actually applied to a target, by kind.", metrics.L("kind", string(kind)))
+			d.mInjected[kind] = c
+		}
+		c.Inc()
+	}
+}
+
+// Install captures baselines and schedules a state refresh at every event
+// boundary on the simulation clock. Fault state is recomputed from the
+// whole schedule at each boundary, so overlapping windows of one kind
+// compose correctly (worst value wins while both are open).
+func (d *Driver) Install() {
+	labels := make([]string, 0, len(d.links))
+	for label, l := range d.links {
+		d.baseBW[label] = l.Bandwidth()
+		d.baseLat[label] = l.Latency()
+		d.baseLoss[label] = l.Loss()
+		labels = append(labels, label)
+	}
+	sort.Strings(labels) // deterministic arming order
+	for _, ev := range d.sched.Events {
+		ev := ev
+		switch ev.Kind {
+		case Drop, Latency, Bandwidth, Partition:
+		default:
+			continue // no simulated-link analogue
+		}
+		for _, label := range labels {
+			if !ev.Matches(label) {
+				continue
+			}
+			label := label
+			d.sim.After(ev.At, func() { d.refresh(label, &ev) })
+			d.sim.After(ev.At+ev.Duration, func() { d.refresh(label, nil) })
+		}
+	}
+}
+
+// refresh folds every window active at the current virtual instant onto
+// the label's baseline and drives the link knobs to match. opening, when
+// non-nil, is the event whose window just opened (it is logged).
+func (d *Driver) refresh(label string, opening *Event) {
+	l := d.links[label]
+	now := d.sim.Now()
+	loss := d.baseLoss[label]
+	lat := d.baseLat[label]
+	bw := d.baseBW[label]
+	for _, e := range d.sched.Events {
+		if !e.Matches(label) || !e.ActiveAt(now) {
+			continue
+		}
+		switch e.Kind {
+		case Drop:
+			if e.Rate > loss {
+				loss = e.Rate
+			}
+		case Partition:
+			loss = 1
+		case Latency:
+			lat += e.Delay
+		case Bandwidth:
+			if e.Rate < bw {
+				bw = e.Rate
+			}
+		}
+	}
+	_ = l.SetLoss(loss)
+	l.SetLatency(lat)
+	_ = l.SetBandwidth(bw)
+	if opening != nil {
+		switch opening.Kind {
+		case Drop:
+			d.record(Drop, label, fmt.Sprintf("loss=%.2f", opening.Rate))
+		case Partition:
+			d.record(Partition, label, "loss=1.00")
+		case Latency:
+			d.record(Latency, label, fmt.Sprintf("+%v", opening.Delay))
+		case Bandwidth:
+			d.record(Bandwidth, label, fmt.Sprintf("%.0fB/s", opening.Rate))
+		}
+	}
+}

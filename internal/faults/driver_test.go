@@ -1,0 +1,119 @@
+package faults
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"tunable/internal/metrics"
+	"tunable/internal/netem"
+	"tunable/internal/vtime"
+)
+
+func TestDriverAppliesAndRevertsLinkFaults(t *testing.T) {
+	sim := vtime.NewSim()
+	link := netem.NewLink(sim, "client-server", 100_000, netem.WithLatency(time.Millisecond))
+	sched := NewSchedule(5,
+		Event{At: 10 * time.Millisecond, Duration: 20 * time.Millisecond, Kind: Bandwidth, Rate: 10_000},
+		Event{At: 20 * time.Millisecond, Duration: 20 * time.Millisecond, Kind: Drop, Rate: 0.5},
+		Event{At: 50 * time.Millisecond, Duration: 10 * time.Millisecond, Kind: Partition},
+		Event{At: 70 * time.Millisecond, Duration: 10 * time.Millisecond, Kind: Latency, Delay: 5 * time.Millisecond},
+	)
+	d, err := NewDriver(sim, map[string]*netem.Link{"link:client-server": link}, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := metrics.New()
+	d.EnableMetrics(reg)
+	d.Install()
+
+	check := func(at time.Duration, fn func()) { sim.At(at, fn) }
+	check(15*time.Millisecond, func() {
+		if bw := link.Bandwidth(); bw != 10_000 {
+			t.Errorf("t=15ms bandwidth %v, want dip to 10000", bw)
+		}
+	})
+	check(25*time.Millisecond, func() {
+		if bw, loss := link.Bandwidth(), link.Loss(); bw != 10_000 || loss != 0.5 {
+			t.Errorf("t=25ms bw=%v loss=%v, want 10000 and 0.5 (overlap)", bw, loss)
+		}
+	})
+	check(35*time.Millisecond, func() {
+		if bw, loss := link.Bandwidth(), link.Loss(); bw != 100_000 || loss != 0.5 {
+			t.Errorf("t=35ms bw=%v loss=%v, want dip reverted, drop still on", bw, loss)
+		}
+	})
+	check(45*time.Millisecond, func() {
+		if loss := link.Loss(); loss != 0 {
+			t.Errorf("t=45ms loss %v, want fully reverted", loss)
+		}
+	})
+	check(55*time.Millisecond, func() {
+		if loss := link.Loss(); loss != 1 {
+			t.Errorf("t=55ms loss %v, want 1 (partition)", loss)
+		}
+	})
+	check(75*time.Millisecond, func() {
+		if lat := link.Latency(); lat != 6*time.Millisecond {
+			t.Errorf("t=75ms latency %v, want baseline+5ms", lat)
+		}
+	})
+	check(85*time.Millisecond, func() {
+		if bw, loss, lat := link.Bandwidth(), link.Loss(), link.Latency(); bw != 100_000 || loss != 0 || lat != time.Millisecond {
+			t.Errorf("t=85ms bw=%v loss=%v lat=%v, want all baselines restored", bw, loss, lat)
+		}
+	})
+	if err := sim.RunUntil(100 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(d.Log()); n != 4 {
+		t.Fatalf("fault log has %d entries, want 4: %v", n, d.Log())
+	}
+}
+
+func TestDriverDeterministicAcrossRuns(t *testing.T) {
+	sched := Generate(11, time.Second, []string{"link:a", "link:b"}, GenProfile{Drops: 2, Dips: 1, Partitions: 1, Latencies: 1})
+	run := func() []Injected {
+		sim := vtime.NewSim()
+		links := map[string]*netem.Link{
+			"link:a": netem.NewLink(sim, "a", 1e6),
+			"link:b": netem.NewLink(sim, "b", 1e6),
+		}
+		d, err := NewDriver(sim, links, sched)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.Install()
+		if err := sim.RunUntil(2 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+		return d.Log()
+	}
+	l1, l2 := run(), run()
+	if len(l1) == 0 {
+		t.Fatal("generated schedule injected nothing")
+	}
+	if !reflect.DeepEqual(l1, l2) {
+		t.Fatalf("same schedule replayed differently:\n%v\n%v", l1, l2)
+	}
+}
+
+func TestDriverSkipsKindsWithoutSimAnalogue(t *testing.T) {
+	sim := vtime.NewSim()
+	link := netem.NewLink(sim, "l", 1e6)
+	sched := NewSchedule(1,
+		Event{At: time.Millisecond, Kind: Reset},
+		Event{At: time.Millisecond, Duration: time.Millisecond, Kind: Pause},
+	)
+	d, err := NewDriver(sim, map[string]*netem.Link{"link:l": link}, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Install()
+	if err := sim.RunUntil(10 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(d.Log()); n != 0 {
+		t.Fatalf("Reset/Pause should be skipped on the sim plane, logged %v", d.Log())
+	}
+}

@@ -99,11 +99,22 @@ type Agent struct {
 	smoothing  Smoothing
 	alpha      float64
 
+	// stale-sample degradation (disabled unless WithStaleAfter ran): when a
+	// probe stops producing samples — the fault layer's partitions and
+	// paused nodes do exactly this — the agent must not stall on, or keep
+	// trusting, its last optimistic estimate forever.
+	staleAfter    time.Duration
+	degradeFactor float64
+	degradeFloor  float64
+
 	probes    []Probe
 	history   map[string][]sample
 	ewma      map[string]float64
 	estimates map[string]resource.Vector // component → smoothed estimates
 	ranges    map[string]*validRange
+	lastSeen  map[string]time.Duration // key → instant of last real sample
+	lastGood  map[string]float64       // key → last estimate backed by a real sample
+	degraded  map[string]bool          // keys currently in degraded mode
 
 	triggers *vtime.Chan[Trigger]
 	peers    []*vtime.Chan[EstimateMsg]
@@ -114,11 +125,13 @@ type Agent struct {
 	samples int64
 
 	// telemetry instruments; nil (no-op) unless EnableMetrics ran
-	reg        *metrics.Registry
-	mSamples   *metrics.Counter
-	mTriggers  *metrics.Counter
-	mOutOfBand *metrics.Histogram
-	mEstimates map[string]*metrics.Gauge
+	reg         *metrics.Registry
+	mSamples    *metrics.Counter
+	mTriggers   *metrics.Counter
+	mOutOfBand  *metrics.Histogram
+	mStaleRound *metrics.Counter
+	mDegraded   *metrics.Gauge
+	mEstimates  map[string]*metrics.Gauge
 }
 
 // Option customizes an Agent.
@@ -152,6 +165,29 @@ func WithSmoothing(mode Smoothing, alpha float64) Option {
 	}
 }
 
+// WithStaleAfter enables degraded mode: when a probe produces no sample
+// for longer than d, its estimate is decayed conservatively each round
+// (assume the silent resource is short, not fine) instead of being
+// trusted indefinitely, and validity-range checks keep running against
+// the decayed value so the scheduler still reacts. Zero disables.
+func WithStaleAfter(d time.Duration) Option {
+	return func(a *Agent) { a.staleAfter = d }
+}
+
+// WithDegrade tunes degraded mode: each stale round multiplies the
+// estimate by factor (default 0.9), never dropping below floor × the last
+// sample-backed estimate (default 0.25).
+func WithDegrade(factor, floor float64) Option {
+	return func(a *Agent) {
+		if factor > 0 && factor < 1 {
+			a.degradeFactor = factor
+		}
+		if floor >= 0 && floor <= 1 {
+			a.degradeFloor = floor
+		}
+	}
+}
+
 // WithHysteresis overrides the consecutive-violation count needed to fire
 // a trigger (1 fires immediately; larger values damp reconfiguration
 // thrashing).
@@ -168,21 +204,26 @@ func WithHysteresis(n int) Option {
 // (normally the resource scheduler's run loop) drains that channel.
 func New(sim *vtime.Sim, name string, opts ...Option) *Agent {
 	a := &Agent{
-		name:       name,
-		sim:        sim,
-		period:     DefaultPeriod,
-		window:     DefaultWindow,
-		hysteresis: DefaultHysteresis,
-		tolerance:  0.02,
-		alpha:      0.1,
-		history:    make(map[string][]sample),
-		ewma:       make(map[string]float64),
-		estimates:  make(map[string]resource.Vector),
-		ranges:     make(map[string]*validRange),
-		remote:     make(map[string]resource.Vector),
-		triggers:   vtime.NewNamedChan[Trigger](sim, 64, name+".triggers"),
-		inbox:      vtime.NewNamedChan[EstimateMsg](sim, 64, name+".inbox"),
-		stop:       vtime.NewEvent(sim, name+".stop"),
+		name:          name,
+		sim:           sim,
+		period:        DefaultPeriod,
+		window:        DefaultWindow,
+		hysteresis:    DefaultHysteresis,
+		tolerance:     0.02,
+		alpha:         0.1,
+		degradeFactor: 0.9,
+		degradeFloor:  0.25,
+		history:       make(map[string][]sample),
+		ewma:          make(map[string]float64),
+		estimates:     make(map[string]resource.Vector),
+		ranges:        make(map[string]*validRange),
+		lastSeen:      make(map[string]time.Duration),
+		lastGood:      make(map[string]float64),
+		degraded:      make(map[string]bool),
+		remote:        make(map[string]resource.Vector),
+		triggers:      vtime.NewNamedChan[Trigger](sim, 64, name+".triggers"),
+		inbox:         vtime.NewNamedChan[EstimateMsg](sim, 64, name+".inbox"),
+		stop:          vtime.NewEvent(sim, name+".stop"),
 	}
 	for _, o := range opts {
 		o(a)
@@ -203,6 +244,10 @@ func (a *Agent) EnableMetrics(reg *metrics.Registry) {
 	a.mTriggers = reg.Counter("monitor_triggers_total", "Out-of-range triggers fired.", lbl)
 	a.mOutOfBand = reg.Histogram("monitor_out_of_band_error",
 		"Distance of a triggering estimate beyond its validity band.", lbl)
+	a.mStaleRound = reg.Counter("monitor_stale_rounds_total",
+		"Sampling rounds in which a probe's estimate was decayed for staleness.", lbl)
+	a.mDegraded = reg.Gauge("monitor_degraded",
+		"Probe keys currently in degraded (stale-sample) mode.", lbl)
 	a.mEstimates = make(map[string]*metrics.Gauge)
 }
 
@@ -315,11 +360,17 @@ func (a *Agent) round(now time.Duration) {
 	a.samples++
 	a.mSamples.Inc()
 	for _, pr := range a.probes {
+		key := pr.Component() + "." + string(pr.Kind())
 		v, ok := pr.Sample(now)
 		if !ok {
+			a.maybeDegrade(now, pr, key)
 			continue
 		}
-		key := pr.Component() + "." + string(pr.Kind())
+		a.lastSeen[key] = now
+		if a.degraded[key] {
+			delete(a.degraded, key)
+			a.mDegraded.Set(float64(len(a.degraded)))
+		}
 		var est float64
 		if a.smoothing == EWMA {
 			if prev, ok := a.ewma[key]; ok {
@@ -349,10 +400,55 @@ func (a *Agent) round(now time.Duration) {
 			a.estimates[comp] = resource.Vector{}
 		}
 		a.estimates[comp][pr.Kind()] = est
+		a.lastGood[key] = est
 		a.estimateGauge(key).Set(est)
 		a.checkRange(now, comp, pr.Kind(), est)
 	}
 }
+
+// maybeDegrade handles a probe that produced no sample this round. With
+// staleness detection off (the default) the previous estimate is simply
+// retained, as before. With it on, once the silence exceeds staleAfter
+// the estimate is decayed geometrically toward a floor — the conservative
+// reading of silence is "the resource is short", because every failure the
+// fault layer injects (partition, paused node, black-holed link) looks
+// like silence — and validity-range checks keep running on the decayed
+// value so the scheduler reconfigures instead of waiting on a dead probe.
+func (a *Agent) maybeDegrade(now time.Duration, pr Probe, key string) {
+	if a.staleAfter <= 0 {
+		return
+	}
+	seen, sampled := a.lastSeen[key]
+	if !sampled || now-seen <= a.staleAfter {
+		return
+	}
+	comp := pr.Component()
+	est, ok := a.estimates[comp][pr.Kind()]
+	if !ok {
+		return
+	}
+	if !a.degraded[key] {
+		a.degraded[key] = true
+		a.mDegraded.Set(float64(len(a.degraded)))
+	}
+	a.mStaleRound.Inc()
+	est *= a.degradeFactor
+	if floor := a.degradeFloor * a.lastGood[key]; est < floor {
+		est = floor
+	}
+	a.estimates[comp][pr.Kind()] = est
+	if a.smoothing == EWMA {
+		// Seed the EWMA with the decayed value so recovery does not snap
+		// back from the pre-outage level.
+		a.ewma[key] = est
+	}
+	a.estimateGauge(key).Set(est)
+	a.checkRange(now, comp, pr.Kind(), est)
+}
+
+// Degraded reports whether any probe is currently in degraded
+// (stale-sample) mode, and how many.
+func (a *Agent) Degraded() int { return len(a.degraded) }
 
 func (a *Agent) checkRange(now time.Duration, comp string, kind resource.Kind, est float64) {
 	key := comp + "." + string(kind)

@@ -86,8 +86,13 @@ func WithLoss(p float64) LinkOption {
 }
 
 // NewLink creates a duplex link with the given bandwidth in bytes/second
-// applied to each direction independently.
+// applied to each direction independently. A zero or negative bandwidth is
+// a programming error (serialization delay would be infinite and the
+// simulation would hang) and panics.
 func NewLink(sim *vtime.Sim, name string, bandwidth float64, opts ...LinkOption) *Link {
+	if bandwidth <= 0 {
+		panic(fmt.Sprintf("netem: link %s: invalid bandwidth %g (must be > 0)", name, bandwidth))
+	}
 	mk := func(dir string) *direction {
 		return &direction{
 			sim:       sim,
@@ -158,6 +163,44 @@ func (l *Link) SetLatency(d time.Duration) {
 	l.ab.latency = d
 	l.ba.latency = d
 }
+
+// Latency returns the current A→B one-way latency.
+func (l *Link) Latency() time.Duration { return l.ab.latency }
+
+// SetLoss reconfigures the message loss probability for both directions;
+// it applies to messages sent after the call. Loss 1 black-holes the link
+// (a full partition): every message is serialized and then dropped.
+func (l *Link) SetLoss(p float64) error {
+	if p < 0 || p > 1 {
+		return fmt.Errorf("netem: invalid loss rate %g", p)
+	}
+	l.ab.lossRate = p
+	l.ba.lossRate = p
+	return nil
+}
+
+// SetLossAtoB reconfigures loss for the A→B direction only; together with
+// SetLossBtoA it expresses asymmetric partitions (A's messages vanish
+// while B's still arrive).
+func (l *Link) SetLossAtoB(p float64) error {
+	if p < 0 || p > 1 {
+		return fmt.Errorf("netem: invalid loss rate %g", p)
+	}
+	l.ab.lossRate = p
+	return nil
+}
+
+// SetLossBtoA reconfigures loss for the B→A direction only.
+func (l *Link) SetLossBtoA(p float64) error {
+	if p < 0 || p > 1 {
+		return fmt.Errorf("netem: invalid loss rate %g", p)
+	}
+	l.ba.lossRate = p
+	return nil
+}
+
+// Loss returns the current A→B loss probability.
+func (l *Link) Loss() float64 { return l.ab.lossRate }
 
 // Endpoint is one side of a duplex link.
 type Endpoint struct {

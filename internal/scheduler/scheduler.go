@@ -167,6 +167,27 @@ func (s *Scheduler) Select(res resource.Vector) (Decision, error) {
 	return Decision{}, ErrNoFeasible
 }
 
+// SelectDerated is the degraded-mode entry point: it derates every
+// resource estimate by margin (0.2 plans against 80% of each estimate)
+// before selecting. The monitoring agent calls this instead of Select
+// while probes are stale — the estimates feeding it are then guesses,
+// and the conservative failure mode is a configuration that underuses
+// real resources, not one that overcommits imaginary ones. margin is
+// clamped to [0, 1).
+func (s *Scheduler) SelectDerated(res resource.Vector, margin float64) (Decision, error) {
+	if margin < 0 {
+		margin = 0
+	}
+	if margin >= 1 {
+		margin = 0.99
+	}
+	derated := resource.Vector{}
+	for k, v := range res {
+		derated[k] = v * (1 - margin)
+	}
+	return s.Select(derated)
+}
+
 // selectForPref evaluates one preference: prune by constraints, optimize
 // the objective, break ties deterministically by configuration key. It
 // also reports how many candidates the constraint pruning rejected.

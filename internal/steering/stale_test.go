@@ -1,0 +1,87 @@
+package steering
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"tunable/internal/metrics"
+	"tunable/internal/vtime"
+)
+
+func TestStaleControlMessageRejected(t *testing.T) {
+	sim := vtime.NewSim()
+	a, err := New(sim, testApp(), cfg("lzw", 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := metrics.New()
+	a.EnableMetrics(reg)
+	a.SetTTL(100 * time.Millisecond)
+	sim.Spawn("app", func(p *vtime.Proc) {
+		// A decision computed early reaches the transition point long
+		// after the TTL: the resource picture it used is gone. (Stamped
+		// at a nonzero instant — zero means "no timestamp".)
+		p.Sleep(time.Millisecond)
+		a.Control().Send(p, ControlMsg{Seq: 1, Config: cfg("bzw", 4), At: p.Now()})
+		p.Sleep(500 * time.Millisecond)
+		if _, switched := a.MaybeApply(p); switched {
+			t.Error("stale control message applied")
+		}
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	ack, ok, ready := a.Acks().TryRecv()
+	if !ready || !ok || ack.Accepted {
+		t.Fatalf("ack %+v, want stale rejection", ack)
+	}
+	if !strings.Contains(ack.Reason, "stale") {
+		t.Fatalf("rejection reason %q, want staleness", ack.Reason)
+	}
+	if got := reg.Counter("steering_stale_total", "").Value(); got != 1 {
+		t.Fatalf("steering_stale_total = %v, want 1", got)
+	}
+	if a.Current()["c"].S != "lzw" {
+		t.Fatal("configuration changed despite stale rejection")
+	}
+}
+
+func TestFreshControlMessageAppliesUnderTTL(t *testing.T) {
+	sim := vtime.NewSim()
+	a, err := New(sim, testApp(), cfg("lzw", 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.SetTTL(100 * time.Millisecond)
+	sim.Spawn("app", func(p *vtime.Proc) {
+		p.Sleep(time.Second) // TTL compares age, not absolute time
+		a.Control().Send(p, ControlMsg{Seq: 1, Config: cfg("bzw", 4), At: p.Now()})
+		p.Sleep(50 * time.Millisecond) // within TTL
+		if _, switched := a.MaybeApply(p); !switched {
+			t.Error("fresh control message rejected")
+		}
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnstampedControlMessageNeverStale(t *testing.T) {
+	sim := vtime.NewSim()
+	a, err := New(sim, testApp(), cfg("lzw", 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.SetTTL(10 * time.Millisecond)
+	sim.Spawn("app", func(p *vtime.Proc) {
+		a.Control().Send(p, ControlMsg{Seq: 1, Config: cfg("bzw", 4)}) // At zero
+		p.Sleep(time.Second)
+		if _, switched := a.MaybeApply(p); !switched {
+			t.Error("unstamped message rejected; zero At must mean no TTL check")
+		}
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -10,7 +10,7 @@ set -eu
 cd "$(dirname "$0")/.."
 
 BENCHES='BenchmarkLZWEncode|BenchmarkLZWDecode|BenchmarkBZWEncode|BenchmarkBZWDecode|BenchmarkChunkExtract|BenchmarkHaarDecompose'
-OUT=BENCH_kernels.json
+OUT="${BENCH_OUT:-BENCH_kernels.json}"
 
 echo "== go test -bench '$BENCHES' -benchmem $*"
 go test -run '^$' -bench "$BENCHES" -benchmem -benchtime "${BENCHTIME:-2s}" "$@" . |

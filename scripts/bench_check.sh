@@ -1,0 +1,50 @@
+#!/usr/bin/env sh
+# bench_check.sh — guard the data-plane kernels against performance
+# regression: re-run the kernel micro-benchmarks and compare ns/op
+# against the committed baseline BENCH_kernels.json. Any kernel more than
+# BENCH_TOLERANCE (default 0.20 = 20%) slower than its baseline fails the
+# check with a nonzero exit.
+#
+#   scripts/bench_check.sh                        # compare at +20%
+#   BENCH_TOLERANCE=0.60 scripts/bench_check.sh   # looser, for noisy CI
+#   BENCHTIME=2s scripts/bench_check.sh           # steadier measurement
+#
+# Refresh the baseline after an intentional perf change with
+# scripts/bench.sh (run on a quiet machine).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BASELINE=BENCH_kernels.json
+TOL="${BENCH_TOLERANCE:-0.20}"
+if [ ! -f "$BASELINE" ]; then
+	echo "bench_check: no $BASELINE baseline; run scripts/bench.sh first" >&2
+	exit 2
+fi
+
+CUR=$(mktemp)
+trap 'rm -f "$CUR" "$CUR.base" "$CUR.now"' EXIT INT TERM
+BENCH_OUT="$CUR" BENCHTIME="${BENCHTIME:-1s}" ./scripts/bench.sh >/dev/null 2>&1
+
+# Pull "name ns_op" pairs out of the one-entry-per-line JSON bench.sh
+# writes.
+extract() {
+	sed -n 's/^ *"\(Benchmark[^"]*\)": {"ns_op": \([0-9.e+]*\).*/\1 \2/p' "$1" | sort
+}
+
+extract "$BASELINE" >"$CUR.base"
+extract "$CUR" >"$CUR.now"
+
+join "$CUR.base" "$CUR.now" | awk -v tol="$TOL" '
+{
+	name = $1; base = $2; now = $3
+	limit = base * (1 + tol)
+	bad += (now > limit)
+	printf "%-24s base %10.1f ns/op   now %10.1f ns/op   limit %10.1f   %s\n", \
+		name, base, now, limit, (now > limit ? "REGRESSION" : "ok")
+}
+END {
+	if (NR == 0) { print "bench_check: no comparable benchmarks found"; exit 2 }
+	if (bad > 0) { printf "bench_check: %d kernel(s) regressed beyond +%.0f%%\n", bad, tol * 100; exit 1 }
+	printf "bench_check: %d kernel(s) within +%.0f%% of baseline\n", NR, tol * 100
+}'

@@ -9,8 +9,8 @@ cd "$(dirname "$0")/.."
 echo "== go build ./..."
 go build ./...
 
-echo "== go vet ./..."
-go vet ./...
+echo "== make lint (vet + staticcheck when installed)"
+make lint
 
 # Fast fail on the cluster control plane: the failover e2e test is the
 # most concurrency-heavy spot in the repo, so run it (and the avis
@@ -25,10 +25,20 @@ go test -race -timeout 5m ./internal/cluster ./internal/avis
 echo "== go test -race -timeout 45m ./... $*"
 go test -race -timeout 45m "$@" ./...
 
-# Benchmark smoke: one iteration of every benchmark catches harness rot
-# (a bench that no longer compiles or fatals on its first iteration)
-# without paying for real measurement runs.
-echo "== go test -bench=. -benchtime=1x -short (smoke)"
-go test -run '^$' -bench . -benchtime 1x -short -timeout 45m .
+# Benchmark smoke: one iteration of every benchmark in every package
+# catches harness rot (a bench that no longer compiles or fatals on its
+# first iteration) without paying for real measurement runs.
+echo "== go test -bench=. -benchtime=1x -short ./... (smoke)"
+go test -run '^$' -bench . -benchtime 1x -short -timeout 45m ./...
+
+# Perf gate: re-measure the data-plane kernels against the committed
+# baseline. BENCH_CHECK=0 skips it; BENCH_TOLERANCE loosens it on noisy
+# shared runners (CI uses 0.60, local default is 0.20).
+if [ "${BENCH_CHECK:-1}" = "1" ]; then
+	echo "== scripts/bench_check.sh (tolerance ${BENCH_TOLERANCE:-0.20})"
+	./scripts/bench_check.sh
+else
+	echo "== bench_check skipped (BENCH_CHECK=0)"
+fi
 
 echo "CI gate passed."
