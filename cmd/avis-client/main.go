@@ -54,6 +54,7 @@ func main() {
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /healthz on this address (empty = disabled)")
 	ioTimeout := flag.Duration("io-timeout", 0, "fail a frame read/write that makes no progress for this long (0 = wait forever)")
 	sessCPU := flag.Float64("session-cpu", 0, "CPU share demanded from cluster admission control (0 = coordinator default)")
+	preferEdge := flag.Bool("prefer-edge", false, "place the session on an edge cache node when one fronts the store (with -coord)")
 	maxFailovers := flag.Int("max-failovers", 3, "node failures one image fetch survives before giving up (with -coord)")
 	failoverBackoff := flag.Duration("failover-backoff", 100*time.Millisecond, "base of the jittered exponential backoff between failover attempts (with -coord)")
 	retryBudget := flag.Int("retry-budget", 0, "total retry tokens for the session, 0 = unlimited (with -coord)")
@@ -83,6 +84,9 @@ func main() {
 			cluster.WithFailoverBackoff(cluster.Backoff{
 				Base: *failoverBackoff, Max: 20 * *failoverBackoff, Factor: 2, Jitter: 0.5,
 			}),
+		}
+		if *preferEdge {
+			opts = append(opts, cluster.WithPreferEdge())
 		}
 		if *ioTimeout > 0 {
 			opts = append(opts, cluster.WithIOTimeout(*ioTimeout))

@@ -75,8 +75,11 @@ func main() {
 	if err != nil {
 		log.Fatalf("avis-server: %v", err)
 	}
-	fmt.Printf("avis-server: serving %d images (%d², %d levels) on %s\n",
-		*images, *side, *levels, l.Addr())
+	// The store signature is what edge caches announce to front this
+	// store (avis-edge -sig) and what failover pins sessions to.
+	fmt.Printf("avis-server: serving %d images (%d², %d levels) on %s (store signature %s)\n",
+		*images, *side, *levels, l.Addr(),
+		cluster.NodeInfo{Side: *side, Levels: *levels, Seeds: seeds}.StoreSig())
 
 	var agent *cluster.Agent
 	if *coord != "" {

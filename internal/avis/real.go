@@ -420,26 +420,13 @@ func (s *RealServer) serveReal(w io.Writer, codec compress.Codec, req Request) e
 	s.mCodec[codec.Name()].observe(time.Since(encStart).Seconds(), rawLen, len(enc))
 	bufpool.Put(raw)
 	defer bufpool.Put(enc)
-	total := len(enc)
-	s.stats.compressedBytes.Add(int64(total))
-	for off := 0; off < total || off == 0; off += s.segBytes {
-		end := off + s.segBytes
-		if end > total {
-			end = total
-		}
-		rawShare := rawLen
-		if total > 0 {
-			rawShare = rawLen * (end - off) / total
-		}
-		seg := Segment{Image: req.Image, Seq: req.Seq, Raw: rawShare, Last: end == total, Payload: enc[off:end]}
-		if err := writeFrame(w, encodeSegment(seg)); err != nil {
-			return wrapTimeout("write", s.ioTimeout, err)
-		}
+	s.stats.compressedBytes.Add(int64(len(enc)))
+	err = WriteSegments(w, req.Image, req.Seq, rawLen, enc, s.segBytes, func(wire int) {
 		s.mSegments.Inc()
-		s.mSentBytes.Add(float64(end - off))
-		if end == total {
-			break
-		}
+		s.mSentBytes.Add(float64(wire))
+	})
+	if err != nil {
+		return wrapTimeout("write", s.ioTimeout, err)
 	}
 	s.mReqSeconds.Observe(time.Since(start).Seconds())
 	return nil
@@ -622,6 +609,58 @@ func PlanRounds(g Geometry, p Params, img, fromR int) []Request {
 	return reqs
 }
 
+// FetchRoundRaw performs one request/reply round and returns the decoded
+// (pre-compression) chunk payload instead of applying it to a canvas —
+// the shape the edge proxy's origin leg needs, where the payload is
+// cached and re-encoded per client rather than rendered. The returned
+// buffer is drawn from the shared bufpool; callers that are done with it
+// may return it with bufpool.Put. wireN is the round's on-the-wire byte
+// count.
+func (c *RealClient) FetchRoundRaw(req Request) (data []byte, wireN int, err error) {
+	if c.geom.Side == 0 {
+		return nil, 0, fmt.Errorf("avis: not connected")
+	}
+	t0 := time.Now()
+	if err := c.writeFrameT(encodeRequest(req)); err != nil {
+		return nil, 0, err
+	}
+	compressed := bufpool.Get(1 << 12)[:0]
+	for {
+		msg, err := c.readFrameT()
+		if err != nil {
+			bufpool.Put(compressed)
+			return nil, 0, err
+		}
+		if len(msg) > 0 && msg[0] == tagError {
+			bufpool.Put(compressed)
+			return nil, 0, fmt.Errorf("avis: server error: %s", msg[1:])
+		}
+		seg, err := decodeSegment(msg)
+		if err != nil {
+			bufpool.Put(compressed)
+			return nil, 0, err
+		}
+		compressed = append(compressed, seg.Payload...)
+		if seg.Last {
+			break
+		}
+	}
+	decStart := time.Now()
+	data, err = c.codec.Decode(compressed)
+	if err != nil {
+		bufpool.Put(compressed)
+		return nil, 0, err
+	}
+	c.mCodec[c.codec.Name()].observe(time.Since(decStart).Seconds(), len(compressed), len(data))
+	wireN = len(compressed)
+	c.mRawBytes.Add(float64(len(data)))
+	c.mWireBytes.Add(float64(wireN))
+	bufpool.Put(compressed)
+	c.mRounds.Inc()
+	c.mRoundSeconds.Observe(time.Since(t0).Seconds())
+	return data, wireN, nil
+}
+
 // FetchRound performs one request/reply round: it sends req, gathers the
 // reply segments, decodes them with the current codec, and, when canvas is
 // non-nil, applies the chunk. It returns the round's pre-compression and
@@ -630,41 +669,10 @@ func PlanRounds(g Geometry, p Params, img, fromR int) []Request {
 // are buffered and decoded only once complete), so the same request can be
 // replayed verbatim against a replacement server.
 func (c *RealClient) FetchRound(req Request, canvas *wavelet.Canvas) (rawN, wireN int, err error) {
-	if c.geom.Side == 0 {
-		return 0, 0, fmt.Errorf("avis: not connected")
-	}
-	t0 := time.Now()
-	if err := c.writeFrameT(encodeRequest(req)); err != nil {
-		return 0, 0, err
-	}
-	compressed := bufpool.Get(1 << 12)[:0]
-	for {
-		msg, err := c.readFrameT()
-		if err != nil {
-			bufpool.Put(compressed)
-			return 0, 0, err
-		}
-		if len(msg) > 0 && msg[0] == tagError {
-			bufpool.Put(compressed)
-			return 0, 0, fmt.Errorf("avis: server error: %s", msg[1:])
-		}
-		seg, err := decodeSegment(msg)
-		if err != nil {
-			bufpool.Put(compressed)
-			return 0, 0, err
-		}
-		compressed = append(compressed, seg.Payload...)
-		if seg.Last {
-			break
-		}
-	}
-	decStart := time.Now()
-	data, err := c.codec.Decode(compressed)
+	data, wireN, err := c.FetchRoundRaw(req)
 	if err != nil {
-		bufpool.Put(compressed)
 		return 0, 0, err
 	}
-	c.mCodec[c.codec.Name()].observe(time.Since(decStart).Seconds(), len(compressed), len(data))
 	if canvas != nil {
 		chunk, err := wavelet.DecodeChunk(data)
 		if err == nil {
@@ -672,18 +680,12 @@ func (c *RealClient) FetchRound(req Request, canvas *wavelet.Canvas) (rawN, wire
 			chunk.Release()
 		}
 		if err != nil {
-			bufpool.Put(compressed)
 			bufpool.Put(data)
 			return 0, 0, err
 		}
 	}
-	rawN, wireN = len(data), len(compressed)
-	c.mRawBytes.Add(float64(rawN))
-	c.mWireBytes.Add(float64(wireN))
-	bufpool.Put(compressed)
+	rawN = len(data)
 	bufpool.Put(data)
-	c.mRounds.Inc()
-	c.mRoundSeconds.Observe(time.Since(t0).Seconds())
 	return rawN, wireN, nil
 }
 

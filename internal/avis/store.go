@@ -5,20 +5,30 @@ import (
 	"sync"
 
 	"tunable/internal/imagery"
+	"tunable/internal/lru"
 	"tunable/internal/wavelet"
 )
 
-// ImageStore caches decomposed pyramids. Building a 1024² pyramid costs
-// real milliseconds and tens of megabytes, and profiling sweeps run the
-// same images through hundreds of simulated worlds, so pyramids are shared
-// (they are read-only after construction). Cache misses are single-flight
-// per key: the mutex only guards the map, and each entry carries its own
-// sync.Once, so the profiler's parallel workers can build pyramids for
-// different images concurrently while duplicate requests for the same
-// image wait on the one in-flight build.
+// DefaultStoreEntries bounds the shared pyramid cache: a 1024²/4-level
+// pyramid costs ~10 MiB of coefficients, so 64 entries keep the
+// worst-case footprint well under a gigabyte while still covering every
+// image set the experiments sweep.
+const DefaultStoreEntries = 64
+
+// ImageStore caches decomposed pyramids under an LRU bound. Building a
+// 1024² pyramid costs real milliseconds and tens of megabytes, and
+// profiling sweeps run the same images through hundreds of simulated
+// worlds, so pyramids are shared (they are read-only after construction).
+// Cache misses are single-flight per key: the mutex only guards the
+// replacement policy, and each entry carries its own sync.Once, so the
+// profiler's parallel workers can build pyramids for different images
+// concurrently while duplicate requests for the same image wait on the
+// one in-flight build. Eviction drops the cache's reference only —
+// builders holding an evicted entry finish (and callers use) its pyramid
+// unharmed; the next request for that key simply rebuilds.
 type ImageStore struct {
 	mu    sync.Mutex
-	cache map[string]*storeEntry
+	cache *lru.Policy[string, *storeEntry]
 }
 
 // storeEntry is one single-flight cache slot.
@@ -28,9 +38,13 @@ type storeEntry struct {
 	err  error
 }
 
-// NewImageStore creates an empty cache.
-func NewImageStore() *ImageStore {
-	return &ImageStore{cache: make(map[string]*storeEntry)}
+// NewImageStore creates an empty cache bounded at DefaultStoreEntries.
+func NewImageStore() *ImageStore { return NewImageStoreCap(DefaultStoreEntries) }
+
+// NewImageStoreCap creates an empty cache bounded at maxEntries pyramids
+// (0 = unlimited, the pre-LRU behavior).
+func NewImageStoreCap(maxEntries int) *ImageStore {
+	return &ImageStore{cache: lru.New[string, *storeEntry](lru.Config{MaxEntries: maxEntries}, nil)}
 }
 
 // sharedStore serves all worlds that do not supply their own store.
@@ -39,15 +53,29 @@ var sharedStore = NewImageStore()
 // SharedStore returns the process-wide pyramid cache.
 func SharedStore() *ImageStore { return sharedStore }
 
+// Len reports the number of cached pyramids (including in-flight builds).
+func (s *ImageStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cache.Len()
+}
+
+// Evictions reports how many pyramids the LRU bound has pushed out.
+func (s *ImageStore) Evictions() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cache.Evictions()
+}
+
 // Pyramid returns the pyramid for a synthetic image identified by
 // (side, levels, seed), generating and decomposing it on first use.
 func (s *ImageStore) Pyramid(side, levels int, seed int64) (*wavelet.Pyramid, error) {
 	key := fmt.Sprintf("%d/%d/%d", side, levels, seed)
 	s.mu.Lock()
-	e, ok := s.cache[key]
+	e, ok := s.cache.Get(key)
 	if !ok {
 		e = &storeEntry{}
-		s.cache[key] = e
+		s.cache.Put(key, e, 1)
 	}
 	s.mu.Unlock()
 	e.once.Do(func() {

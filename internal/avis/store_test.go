@@ -1,0 +1,117 @@
+package avis
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestImageStoreEviction drives a store bounded at 2 pyramids through 6
+// distinct keys from concurrent single-flight builders: the bound must
+// hold, every caller must still get a correct pyramid (evicted or not),
+// and re-requesting an evicted key must rebuild rather than fail.
+func TestImageStoreEviction(t *testing.T) {
+	const (
+		cap     = 2
+		keys    = 6
+		workers = 4
+		side    = 64
+		levels  = 3
+	)
+	s := NewImageStoreCap(cap)
+	var wg sync.WaitGroup
+	errs := make(chan error, keys*workers)
+	for k := 0; k < keys; k++ {
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(seed int64) {
+				defer wg.Done()
+				p, err := s.Pyramid(side, levels, seed)
+				if err != nil {
+					errs <- fmt.Errorf("seed %d: %v", seed, err)
+					return
+				}
+				if p.Side != side || p.Levels != levels {
+					errs <- fmt.Errorf("seed %d: got %dx%d/%d", seed, p.Side, p.Side, p.Levels)
+				}
+			}(int64(k + 1))
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if n := s.Len(); n > cap {
+		t.Fatalf("store holds %d entries, bound is %d", n, cap)
+	}
+	if s.Evictions() == 0 {
+		t.Fatal("expected evictions after inserting more keys than the bound")
+	}
+
+	// An evicted key rebuilds: the store was just churned through 6 keys
+	// with capacity 2, so seed 1 is long gone; it must come back healthy
+	// and identical to a fresh decomposition.
+	p, err := s.Pyramid(side, levels, 1)
+	if err != nil {
+		t.Fatalf("rebuild after eviction: %v", err)
+	}
+	fresh, err := NewImageStoreCap(1).Pyramid(side, levels, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, err := p.ExtractRegion(levels, side/2, side/2, side/4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := fresh.ExtractRegion(levels, side/2, side/2, side/4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, b2 := c1.Encode(), c2.Encode()
+	c1.Release()
+	c2.Release()
+	if string(b1) != string(b2) {
+		t.Fatal("rebuilt pyramid differs from a fresh decomposition")
+	}
+}
+
+// TestImageStoreSingleFlightUnderEviction hammers ONE key from many
+// goroutines while other goroutines churn the cache past its bound: every
+// caller of the hot key must observe the same (or an equivalent rebuilt)
+// pyramid with no error, even when its entry is evicted mid-build.
+func TestImageStoreSingleFlightUnderEviction(t *testing.T) {
+	const side, levels = 32, 2
+	s := NewImageStoreCap(2)
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for i := 0; i < 8; i++ {
+		wg.Add(2)
+		go func() { // hot key
+			defer wg.Done()
+			for j := 0; j < 8; j++ {
+				if _, err := s.Pyramid(side, levels, 42); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+		go func(i int) { // churn: distinct keys force evictions
+			defer wg.Done()
+			for j := 0; j < 8; j++ {
+				if _, err := s.Pyramid(side, levels, int64(100+i*8+j)); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if n := s.Len(); n > 2 {
+		t.Fatalf("store holds %d entries, bound is 2", n)
+	}
+}

@@ -28,10 +28,23 @@ import (
 	"time"
 )
 
+// Node roles in the delivery tier. An origin node (the zero value) serves
+// from its own image store; an edge node fronts an origin through a chunk
+// cache, serving coarse pyramid levels from cache and relaying the rest.
+const (
+	RoleOrigin = ""     // default: a full avis server
+	RoleEdge   = "edge" // a caching proxy (internal/edge)
+)
+
 // NodeInfo is what a server announces at registration.
 type NodeInfo struct {
 	ID   string `json:"id"`   // cluster-unique node name
 	Addr string `json:"addr"` // data-plane address clients dial
+
+	// Role places the node in the delivery tier (RoleOrigin or RoleEdge).
+	// Edge nodes are only eligible for placements that ask for them
+	// (ResolveRequest.Coarse) and are preferred for those.
+	Role string `json:"role,omitempty"`
 
 	// Declared resource capacity for session admission: CPU is the
 	// reservable share in (0, 1]; MemBytes the physical memory
@@ -44,11 +57,20 @@ type NodeInfo struct {
 	Side   int     `json:"side"`
 	Levels int     `json:"levels"`
 	Seeds  []int64 `json:"seeds"`
+
+	// Sig, when non-empty, overrides the computed store signature. Edge
+	// nodes front a store they do not own (they never see its seeds), so
+	// they announce the origin's signature verbatim: a session pinned to
+	// the origin's store can then land on any edge caching that store.
+	Sig string `json:"sig,omitempty"`
 }
 
 // StoreSig fingerprints the node's image-store contents; sessions are
 // pinned to a signature so every failover target can replay them.
 func (n NodeInfo) StoreSig() string {
+	if n.Sig != "" {
+		return n.Sig
+	}
 	h := fnv.New64a()
 	fmt.Fprintf(h, "%d/%d", n.Side, n.Levels)
 	for _, s := range n.Seeds {
@@ -88,6 +110,7 @@ func (s NodeState) String() string {
 type NodeStatus struct {
 	ID          string  `json:"id"`
 	Addr        string  `json:"addr"`
+	Role        string  `json:"role,omitempty"`
 	State       string  `json:"state"`
 	Sig         string  `json:"sig"`
 	Load        Load    `json:"load"`

@@ -308,6 +308,7 @@ func (c *Coordinator) Resolve(req ResolveRequest) (ResolveGrant, error) {
 	}
 	type cand struct {
 		id       string
+		edge     bool
 		reserved float64
 		sessions int
 	}
@@ -319,9 +320,21 @@ func (c *Coordinator) Resolve(req ResolveRequest) (ResolveGrant, error) {
 		if excluded[id] || (req.Sig != "" && n.sig != req.Sig) {
 			continue
 		}
-		cands = append(cands, cand{id: id, reserved: n.host.Reserved() / n.info.CPU, sessions: n.load.ActiveSessions})
+		edge := n.info.Role == RoleEdge
+		if edge && !req.Coarse {
+			// Fine-level traffic streams through an edge uncached; keep it
+			// off the cache tier entirely.
+			continue
+		}
+		cands = append(cands, cand{id: id, edge: edge, reserved: n.host.Reserved() / n.info.CPU, sessions: n.load.ActiveSessions})
 	}
 	sort.Slice(cands, func(i, j int) bool {
+		// Coarse sessions prefer any warm edge over any origin; when the
+		// edges are excluded (failed) or absent, origins still serve, so a
+		// cache-tier outage degrades to direct delivery, never to refusal.
+		if cands[i].edge != cands[j].edge {
+			return cands[i].edge
+		}
 		if cands[i].reserved != cands[j].reserved {
 			return cands[i].reserved < cands[j].reserved
 		}
@@ -397,6 +410,7 @@ func (c *Coordinator) Nodes() []NodeStatus {
 		out = append(out, NodeStatus{
 			ID:          id,
 			Addr:        n.info.Addr,
+			Role:        n.info.Role,
 			State:       st.String(),
 			Sig:         n.sig,
 			Load:        n.load,

@@ -31,6 +31,7 @@ type FailoverClient struct {
 	bw          float64
 	demandCPU   float64
 	demandMem   int64
+	preferEdge  bool
 	maxFail     int
 	backoff     Backoff
 	budget      *RetryBudget
@@ -69,6 +70,14 @@ func WithBandwidth(bytesPerSec float64) FailoverOption {
 // admission control (CPU as a share of one node, mem in bytes).
 func WithSessionDemand(cpu float64, memBytes int64) FailoverOption {
 	return func(f *FailoverClient) { f.demandCPU, f.demandMem = cpu, memBytes }
+}
+
+// WithPreferEdge marks the session as coarse-level traffic: placement
+// considers edge cache nodes and prefers them over origins. When every
+// matching edge has failed (or none is registered) the session lands on
+// an origin instead — the fallback WithMaxFailovers already polices.
+func WithPreferEdge() FailoverOption {
+	return func(f *FailoverClient) { f.preferEdge = true }
 }
 
 // WithMaxFailovers bounds how many node failures one image fetch survives
@@ -152,6 +161,7 @@ func (f *FailoverClient) connect() error {
 		CPU:      f.demandCPU,
 		MemBytes: f.demandMem,
 		Sig:      f.sig,
+		Coarse:   f.preferEdge,
 	})
 	if err != nil {
 		return err

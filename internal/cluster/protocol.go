@@ -50,6 +50,10 @@ type ResolveRequest struct {
 	MemBytes int64   `json:"mem,omitempty"`
 	// Sig pins the session to nodes serving this image store ("" = any).
 	Sig string `json:"sig,omitempty"`
+	// Coarse marks a session that mostly fetches coarse pyramid levels —
+	// the cache-friendly traffic class. Edge nodes become eligible and are
+	// preferred; without it only origin servers are considered.
+	Coarse bool `json:"coarse,omitempty"`
 }
 
 // ResolveGrant is the coordinator's placement answer.

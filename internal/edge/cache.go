@@ -1,0 +1,172 @@
+// Package edge is the tiered delivery layer of the cluster: an
+// intermediary proxy daemon (cmd/avis-edge) that terminates the avis
+// frame protocol toward clients, re-speaks it toward an origin server,
+// and serves coarse pyramid levels out of a bounded LRU+TTL chunk cache
+// while fine levels stream through from origin. Chunks are
+// content-addressed — the cache key is (store signature, image, level,
+// region), the same signature cluster failover already pins sessions on —
+// so any edge fronting the same origin store serves byte-identical
+// payloads. Concurrent misses for one key collapse into a single origin
+// round (single-flight), and a fovea-trajectory prewarmer fetches the
+// predicted next region's coarse chunks before the client asks.
+package edge
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tunable/internal/avis"
+	"tunable/internal/lru"
+	"tunable/internal/metrics"
+)
+
+// cacheKey renders the content address of one reply payload. Every field
+// that shapes the payload bytes participates; the codec does not, because
+// the cache stores pre-compression chunk encodings and re-encodes per
+// client.
+func cacheKey(sig string, req avis.Request) string {
+	return fmt.Sprintf("%s/%d/%d/%d/%d/%d/%d", sig, req.Image, req.Level, req.X, req.Y, req.R, req.PrevR)
+}
+
+// cacheEntry is one cached reply payload: the raw (decoded,
+// pre-compression) chunk encoding, read-only once inserted, plus whether
+// the prewarmer fetched it (so hits on prewarmed entries are countable).
+type cacheEntry struct {
+	data      []byte
+	prewarmed bool
+}
+
+// chunkCache is the thread-safe LRU+TTL payload cache of one proxy. Hits
+// and misses are counted only on the client-serving path (lookup); the
+// prewarmer uses contains, which never distorts the stats or the
+// replacement order.
+type chunkCache struct {
+	mu  sync.Mutex
+	pol *lru.Policy[string, cacheEntry]
+
+	hits        atomic.Int64
+	misses      atomic.Int64
+	prewarmHits atomic.Int64
+
+	// telemetry instruments; nil (no-op) unless EnableMetrics ran
+	mHits        *metrics.Counter
+	mMisses      *metrics.Counter
+	mPrewarmHits *metrics.Counter
+	mEvCapacity  *metrics.Counter
+	mEvExpired   *metrics.Counter
+	mHitRatio    *metrics.Gauge
+	mEntries     *metrics.Gauge
+	mBytes       *metrics.Gauge
+}
+
+func newChunkCache(maxEntries int, maxBytes int64, ttl time.Duration) *chunkCache {
+	c := &chunkCache{}
+	c.pol = lru.New[string, cacheEntry](lru.Config{
+		MaxEntries: maxEntries,
+		MaxCost:    maxBytes,
+		TTL:        ttl,
+	}, func(_ string, _ cacheEntry, why lru.Reason) {
+		switch why {
+		case lru.Capacity:
+			c.mEvCapacity.Inc()
+		case lru.Expired:
+			c.mEvExpired.Inc()
+		}
+	})
+	return c
+}
+
+// enableMetrics registers the edge_cache_* families. The reason label is
+// the closed set {capacity, expired}.
+func (c *chunkCache) enableMetrics(reg *metrics.Registry) {
+	c.mHits = reg.Counter("edge_cache_hits_total", "Coarse-level requests served from cache.")
+	c.mMisses = reg.Counter("edge_cache_misses_total", "Coarse-level requests that needed an origin round.")
+	c.mPrewarmHits = reg.Counter("edge_cache_prewarm_hits_total",
+		"Cache hits on entries the fovea-trajectory prewarmer fetched.")
+	c.mEvCapacity = reg.Counter("edge_cache_evictions_total",
+		"Cached chunks evicted, by reason.", metrics.L("reason", "capacity"))
+	c.mEvExpired = reg.Counter("edge_cache_evictions_total",
+		"Cached chunks evicted, by reason.", metrics.L("reason", "expired"))
+	c.mHitRatio = reg.Gauge("edge_cache_hit_ratio", "Lifetime cache hit ratio on coarse-level requests.")
+	c.mEntries = reg.Gauge("edge_cache_entries", "Cached chunks currently live.")
+	c.mBytes = reg.Gauge("edge_cache_bytes", "Summed payload bytes of live cached chunks.")
+}
+
+// updateGauges refreshes the occupancy and ratio gauges; callers hold mu.
+func (c *chunkCache) updateGauges() {
+	c.mEntries.Set(float64(c.pol.Len()))
+	c.mBytes.Set(float64(c.pol.Cost()))
+	h, m := c.hits.Load(), c.misses.Load()
+	if h+m > 0 {
+		c.mHitRatio.Set(float64(h) / float64(h+m))
+	}
+}
+
+// lookup is the serving-path read: it bumps recency and the hit/miss
+// stats, and flags hits on prewarmed entries.
+func (c *chunkCache) lookup(key string) (data []byte, ok bool) {
+	c.mu.Lock()
+	e, ok := c.pol.Get(key)
+	if ok {
+		c.hits.Add(1)
+		c.mHits.Inc()
+		if e.prewarmed {
+			c.prewarmHits.Add(1)
+			c.mPrewarmHits.Inc()
+		}
+	} else {
+		c.misses.Add(1)
+		c.mMisses.Inc()
+	}
+	c.updateGauges()
+	c.mu.Unlock()
+	return e.data, ok
+}
+
+// contains is the prewarmer's probe: no stats, no recency bump.
+func (c *chunkCache) contains(key string) bool {
+	c.mu.Lock()
+	_, ok := c.pol.Peek(key)
+	c.mu.Unlock()
+	return ok
+}
+
+// insert stores one payload. The cache owns data from here on; it must
+// not be pooled or mutated by the caller.
+func (c *chunkCache) insert(key string, data []byte, prewarmed bool) {
+	c.mu.Lock()
+	c.pol.Put(key, cacheEntry{data: data, prewarmed: prewarmed}, int64(len(data)))
+	c.updateGauges()
+	c.mu.Unlock()
+}
+
+// CacheStats is a point-in-time snapshot of the cache counters.
+type CacheStats struct {
+	Hits, Misses, PrewarmHits int64
+	Entries                   int
+	Bytes                     int64
+	Evictions                 int64
+}
+
+// HitRatio returns hits/(hits+misses), or 0 before any lookup.
+func (s CacheStats) HitRatio() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+func (c *chunkCache) stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:        c.hits.Load(),
+		Misses:      c.misses.Load(),
+		PrewarmHits: c.prewarmHits.Load(),
+		Entries:     c.pol.Len(),
+		Bytes:       c.pol.Cost(),
+		Evictions:   c.pol.Evictions(),
+	}
+}

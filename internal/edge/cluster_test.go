@@ -1,0 +1,145 @@
+package edge
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"tunable/internal/avis"
+	"tunable/internal/cluster"
+	"tunable/internal/wavelet"
+)
+
+// startCoord boots a coordinator with fast failure detection on loopback.
+func startCoord(t *testing.T) *net.TCPAddr {
+	t.Helper()
+	coord := cluster.NewCoordinator(cluster.Config{
+		SuspectAfter: 60 * time.Millisecond,
+		DeadAfter:    150 * time.Millisecond,
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go coord.Serve(ln)
+	t.Cleanup(func() { coord.Shutdown(time.Second) })
+	stop := coord.StartTicker(20 * time.Millisecond)
+	t.Cleanup(stop)
+	return ln.Addr().(*net.TCPAddr)
+}
+
+// joinAgent registers info with the coordinator using fast heartbeats.
+func joinAgent(t *testing.T, coordAddr string, info cluster.NodeInfo, load func() cluster.Load) *cluster.Agent {
+	t.Helper()
+	agent := cluster.NewAgent(coordAddr, info, 15*time.Millisecond, load)
+	if err := agent.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { agent.Close(false) })
+	return agent
+}
+
+// TestClusterEdgePlacementAndFailover is the control-plane acceptance
+// path for the edge tier: a coordinator fronting one origin and one edge,
+// where (a) a coarse session asking for edge placement lands on the edge,
+// (b) a session NOT asking for it lands on the origin even though the
+// edge is idle, and (c) when the edge dies mid-stream the coarse session
+// fails over to the origin and the progressive transmission completes.
+func TestClusterEdgePlacementAndFailover(t *testing.T) {
+	coordAddr := startCoord(t).String()
+
+	// Origin: a real avis server announcing its seeds; the store signature
+	// is computed from them.
+	origin, originLn := startOrigin(t)
+	_ = origin
+	originSig := cluster.NodeInfo{Side: testSide, Levels: testLevels, Seeds: testSeeds}.StoreSig()
+	joinAgent(t, coordAddr, cluster.NodeInfo{
+		ID: "origin-1", Addr: originLn.Addr().String(),
+		CPU: 1.0, MemBytes: 256 << 20,
+		Side: testSide, Levels: testLevels, Seeds: testSeeds,
+	}, func() cluster.Load { return cluster.Load{ActiveSessions: origin.ActiveSessions()} })
+
+	// Edge: fronts the origin and announces the origin's signature verbatim
+	// (it never sees the seeds), so sessions pinned to the store can move
+	// between the tiers.
+	p, edgeLn := startEdge(t, originLn.Addr().String(), nil, func(cfg *Config) {
+		cfg.Sig = originSig
+	})
+	edgeAgent := joinAgent(t, coordAddr, cluster.NodeInfo{
+		ID: "edge-1", Addr: edgeLn.Addr().String(), Role: cluster.RoleEdge,
+		CPU: 1.0, MemBytes: 256 << 20,
+		Side: testSide, Levels: testLevels, Sig: originSig,
+	}, func() cluster.Load { return cluster.Load{ActiveSessions: p.ActiveSessions()} })
+
+	r := cluster.NewResolver(coordAddr, time.Second)
+	defer r.Close()
+	params := avis.Params{DR: 16, Codec: "lzw", Level: testLevels - 1}
+
+	// (b) first, without the edge preference: placement must skip the edge
+	// even though it is completely idle.
+	direct, err := cluster.DialFailover(r, params, cluster.WithIOTimeout(2*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct.Node() != "origin-1" {
+		t.Fatalf("non-coarse session placed on %s, want origin-1", direct.Node())
+	}
+	direct.Close()
+
+	// (a) with WithPreferEdge the same coarse session lands on the edge.
+	var fc *cluster.FailoverClient
+	var killOnce sync.Once
+	fc, err = cluster.DialFailover(r, params,
+		cluster.WithPreferEdge(), cluster.WithIOTimeout(2*time.Second),
+		cluster.WithRoundHook(func(img, round int) {
+			// Kill the edge mid-stream on the second image only.
+			if img == 1 && round == 2 {
+				killOnce.Do(func() {
+					edgeAgent.Close(false)
+					p.Shutdown(0)
+				})
+			}
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fc.Close()
+	if fc.Node() != "edge-1" {
+		t.Fatalf("coarse session placed on %s, want edge-1", fc.Node())
+	}
+
+	// A full image through the edge tier populates the cache.
+	canvas, err := wavelet.NewCanvas(testSide, testLevels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fc.FetchImage(0, canvas); err != nil {
+		t.Fatalf("fetch via edge: %v", err)
+	}
+	if _, err := canvas.Reconstruct(testLevels - 1); err != nil {
+		t.Fatal(err)
+	}
+	if st := p.Stats(); st.Misses == 0 {
+		t.Fatalf("edge served a full image without touching its cache: %+v", st)
+	}
+
+	// (c) the edge dies at round 2 of image 1; the session must finish on
+	// the origin, replaying the interrupted round.
+	canvas2, err := wavelet.NewCanvas(testSide, testLevels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fc.FetchImage(1, canvas2); err != nil {
+		t.Fatalf("fetch across edge death: %v", err)
+	}
+	if fc.Failovers() != 1 {
+		t.Fatalf("failovers %d, want 1", fc.Failovers())
+	}
+	if fc.Node() != "origin-1" {
+		t.Fatalf("failed over to %s, want origin-1", fc.Node())
+	}
+	if _, err := canvas2.Reconstruct(testLevels - 1); err != nil {
+		t.Fatalf("reconstruction after tier failover: %v", err)
+	}
+}

@@ -1,0 +1,82 @@
+package monitor
+
+import "math"
+
+// Trajectory predicts the next foveal center from a bounded history
+// window of observed centers — the monitor-side prediction API the edge
+// tier's prewarmer consumes. Prediction is linear extrapolation of the
+// mean velocity across the window: smooth pans and drifts (the common
+// interaction pattern between fovea teleports) extrapolate exactly, and
+// anything the window cannot support (no history, a single sample, a
+// just-reset window) reports no prediction rather than a guess.
+//
+// A teleport — a jump farther than the discontinuity threshold — resets
+// the window to the landing point: extrapolating across a teleport would
+// prewarm garbage half-way between two unrelated fixations, which costs
+// origin bandwidth exactly when the cache most needs refilling.
+//
+// Trajectory is not synchronized; each proxy connection owns its own.
+type Trajectory struct {
+	window   int     // samples kept (≥ 2)
+	teleport float64 // jump distance that resets the window (0 = never)
+	xs, ys   []int   // oldest first
+}
+
+// DefaultTrajectoryWindow is how many recent fovea centers inform the
+// extrapolation; long enough to average out jitter, short enough that an
+// old direction change washes out within a few rounds.
+const DefaultTrajectoryWindow = 8
+
+// NewTrajectory creates an empty predictor. window is clamped to ≥ 2 (one
+// velocity needs two samples); teleportDist ≤ 0 disables discontinuity
+// detection.
+func NewTrajectory(window int, teleportDist float64) *Trajectory {
+	if window < 2 {
+		window = 2
+	}
+	if teleportDist < 0 {
+		teleportDist = 0
+	}
+	return &Trajectory{window: window, teleport: teleportDist}
+}
+
+// Len reports how many centers the window currently holds.
+func (t *Trajectory) Len() int { return len(t.xs) }
+
+// Reset empties the history window.
+func (t *Trajectory) Reset() { t.xs, t.ys = t.xs[:0], t.ys[:0] }
+
+// Observe appends one fovea center. A jump farther than the teleport
+// threshold resets the window first, so the discontinuity never feeds the
+// extrapolation.
+func (t *Trajectory) Observe(x, y int) {
+	if n := len(t.xs); n > 0 && t.teleport > 0 {
+		dx, dy := float64(x-t.xs[n-1]), float64(y-t.ys[n-1])
+		if math.Hypot(dx, dy) > t.teleport {
+			t.Reset()
+		}
+	}
+	t.xs = append(t.xs, x)
+	t.ys = append(t.ys, y)
+	if len(t.xs) > t.window {
+		t.xs = t.xs[1:]
+		t.ys = t.ys[1:]
+	}
+}
+
+// Predict extrapolates the next center from the window's mean velocity.
+// ok is false when the window holds fewer than two samples — empty
+// history, a single observation, or a window just reset by a teleport —
+// in which case x, y are zero and must not be used.
+func (t *Trajectory) Predict() (x, y int, ok bool) {
+	n := len(t.xs)
+	if n < 2 {
+		return 0, 0, false
+	}
+	// Mean velocity over the window: (last − first) / (n − 1). Summing the
+	// consecutive deltas telescopes to the same value, so jitter inside
+	// the window cancels instead of compounding.
+	vx := float64(t.xs[n-1]-t.xs[0]) / float64(n-1)
+	vy := float64(t.ys[n-1]-t.ys[0]) / float64(n-1)
+	return t.xs[n-1] + int(math.Round(vx)), t.ys[n-1] + int(math.Round(vy)), true
+}

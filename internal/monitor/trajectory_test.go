@@ -1,0 +1,89 @@
+package monitor
+
+import "testing"
+
+func TestTrajectoryEmptyHistory(t *testing.T) {
+	tr := NewTrajectory(8, 100)
+	if x, y, ok := tr.Predict(); ok || x != 0 || y != 0 {
+		t.Fatalf("empty history predicted (%d,%d,%v), want (0,0,false)", x, y, ok)
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", tr.Len())
+	}
+}
+
+func TestTrajectorySingleSample(t *testing.T) {
+	tr := NewTrajectory(8, 100)
+	tr.Observe(40, 60)
+	if _, _, ok := tr.Predict(); ok {
+		t.Fatal("a single sample must not produce a prediction (no velocity)")
+	}
+}
+
+func TestTrajectoryLinearMotion(t *testing.T) {
+	tr := NewTrajectory(8, 1000)
+	for i := 0; i < 5; i++ {
+		tr.Observe(100+16*i, 200-8*i)
+	}
+	x, y, ok := tr.Predict()
+	if !ok {
+		t.Fatal("linear history should predict")
+	}
+	if x != 100+16*5 || y != 200-8*5 {
+		t.Fatalf("predicted (%d,%d), want (%d,%d)", x, y, 100+16*5, 200-8*5)
+	}
+}
+
+// TestTrajectoryTeleportResets is the prewarm-garbage guard: a fovea jump
+// beyond the discontinuity threshold must reset the extrapolation — the
+// next Predict reports no prediction instead of a point interpolated
+// between the two unrelated fixations.
+func TestTrajectoryTeleportResets(t *testing.T) {
+	tr := NewTrajectory(8, 50)
+	tr.Observe(0, 0)
+	tr.Observe(10, 0)
+	tr.Observe(20, 0)
+	if x, _, ok := tr.Predict(); !ok || x != 30 {
+		t.Fatalf("pre-teleport predict = (%d, ok=%v), want (30, true)", x, ok)
+	}
+	tr.Observe(500, 500) // teleport: distance ≫ 50
+	if tr.Len() != 1 {
+		t.Fatalf("window holds %d samples after teleport, want 1 (the landing point)", tr.Len())
+	}
+	if _, _, ok := tr.Predict(); ok {
+		t.Fatal("predict after teleport must report no prediction, not extrapolate the jump")
+	}
+	// Motion re-accumulates from the landing point.
+	tr.Observe(510, 500)
+	if x, y, ok := tr.Predict(); !ok || x != 520 || y != 500 {
+		t.Fatalf("post-teleport predict = (%d,%d,%v), want (520,500,true)", x, y, ok)
+	}
+}
+
+// A jump exactly at the threshold is not a teleport; just beyond it is.
+func TestTrajectoryTeleportThresholdEdge(t *testing.T) {
+	tr := NewTrajectory(8, 10)
+	tr.Observe(0, 0)
+	tr.Observe(10, 0) // distance exactly 10: kept
+	if tr.Len() != 2 {
+		t.Fatalf("Len = %d after at-threshold move, want 2", tr.Len())
+	}
+	tr.Observe(21, 0) // distance 11 > 10: reset
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d after beyond-threshold move, want 1", tr.Len())
+	}
+}
+
+func TestTrajectoryWindowBound(t *testing.T) {
+	tr := NewTrajectory(3, 0) // teleport detection off
+	for i := 0; i < 10; i++ {
+		tr.Observe(i*100, 0) // huge jumps, but teleport is disabled
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d, want window bound 3", tr.Len())
+	}
+	// Mean velocity over the 3 newest samples (700,800,900) is 100/round.
+	if x, _, ok := tr.Predict(); !ok || x != 1000 {
+		t.Fatalf("predict = %d, want 1000", x)
+	}
+}

@@ -1,7 +1,9 @@
 #!/usr/bin/env sh
-# bench.sh — run the data-plane kernel micro-benchmarks and record the
-# results as BENCH_kernels.json at the repo root. Pass extra go-test
-# flags through, e.g. `scripts/bench.sh -benchtime 5s`.
+# bench.sh — run a micro-benchmark suite and record the results as JSON
+# at the repo root. With no overrides it measures the data-plane kernels
+# into BENCH_kernels.json; BENCH_FILTER/BENCH_PKG/BENCH_OUT retarget it
+# at another suite (see scripts/bench_edge.sh). Pass extra go-test flags
+# through, e.g. `scripts/bench.sh -benchtime 5s`.
 #
 # The JSON maps each benchmark to its ns/op, MB/s (when reported),
 # B/op, and allocs/op, so successive runs can be diffed for regressions.
@@ -9,11 +11,12 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-BENCHES='BenchmarkLZWEncode|BenchmarkLZWDecode|BenchmarkBZWEncode|BenchmarkBZWDecode|BenchmarkChunkExtract|BenchmarkHaarDecompose'
+BENCHES="${BENCH_FILTER:-BenchmarkLZWEncode|BenchmarkLZWDecode|BenchmarkBZWEncode|BenchmarkBZWDecode|BenchmarkChunkExtract|BenchmarkHaarDecompose}"
+PKG="${BENCH_PKG:-.}"
 OUT="${BENCH_OUT:-BENCH_kernels.json}"
 
-echo "== go test -bench '$BENCHES' -benchmem $*"
-go test -run '^$' -bench "$BENCHES" -benchmem -benchtime "${BENCHTIME:-2s}" "$@" . |
+echo "== go test -bench '$BENCHES' -benchmem $* $PKG"
+go test -run '^$' -bench "$BENCHES" -benchmem -benchtime "${BENCHTIME:-2s}" "$@" "$PKG" |
 	tee /dev/stderr |
 	awk '
 	/^Benchmark/ {

@@ -1,30 +1,22 @@
 #!/usr/bin/env sh
-# bench_check.sh — guard the data-plane kernels against performance
-# regression: re-run the kernel micro-benchmarks and compare ns/op
-# against the committed baseline BENCH_kernels.json. Any kernel more than
-# BENCH_TOLERANCE (default 0.20 = 20%) slower than its baseline fails the
-# check with a nonzero exit.
+# bench_check.sh — guard the benchmarked hot paths against performance
+# regression: re-run each committed benchmark suite and compare ns/op
+# against its baseline JSON. Any benchmark more than BENCH_TOLERANCE
+# (default 0.20 = 20%) slower than its baseline fails the check with a
+# nonzero exit. Two suites are gated: the data-plane kernels
+# (BENCH_kernels.json) and the edge cache tier (BENCH_edge.json).
 #
 #   scripts/bench_check.sh                        # compare at +20%
 #   BENCH_TOLERANCE=0.60 scripts/bench_check.sh   # looser, for noisy CI
 #   BENCHTIME=2s scripts/bench_check.sh           # steadier measurement
 #
-# Refresh the baseline after an intentional perf change with
-# scripts/bench.sh (run on a quiet machine).
+# Refresh a baseline after an intentional perf change with
+# scripts/bench.sh / scripts/bench_edge.sh (run on a quiet machine).
 set -eu
 
 cd "$(dirname "$0")/.."
 
-BASELINE=BENCH_kernels.json
 TOL="${BENCH_TOLERANCE:-0.20}"
-if [ ! -f "$BASELINE" ]; then
-	echo "bench_check: no $BASELINE baseline; run scripts/bench.sh first" >&2
-	exit 2
-fi
-
-CUR=$(mktemp)
-trap 'rm -f "$CUR" "$CUR.base" "$CUR.now"' EXIT INT TERM
-BENCH_OUT="$CUR" BENCHTIME="${BENCHTIME:-1s}" ./scripts/bench.sh >/dev/null 2>&1
 
 # Pull "name ns_op" pairs out of the one-entry-per-line JSON bench.sh
 # writes.
@@ -32,19 +24,41 @@ extract() {
 	sed -n 's/^ *"\(Benchmark[^"]*\)": {"ns_op": \([0-9.e+]*\).*/\1 \2/p' "$1" | sort
 }
 
-extract "$BASELINE" >"$CUR.base"
-extract "$CUR" >"$CUR.now"
+# check_one BASELINE FILTER PKG — re-measure one suite and diff it
+# against its committed baseline.
+check_one() {
+	baseline=$1 filter=$2 pkg=$3
+	if [ ! -f "$baseline" ]; then
+		echo "bench_check: no $baseline baseline; run the matching bench script first" >&2
+		exit 2
+	fi
+	echo "== $baseline ($pkg)"
 
-join "$CUR.base" "$CUR.now" | awk -v tol="$TOL" '
-{
-	name = $1; base = $2; now = $3
-	limit = base * (1 + tol)
-	bad += (now > limit)
-	printf "%-24s base %10.1f ns/op   now %10.1f ns/op   limit %10.1f   %s\n", \
-		name, base, now, limit, (now > limit ? "REGRESSION" : "ok")
+	CUR=$(mktemp)
+	trap 'rm -f "$CUR" "$CUR.base" "$CUR.now"' EXIT INT TERM
+	BENCH_OUT="$CUR" BENCH_FILTER="$filter" BENCH_PKG="$pkg" \
+		BENCHTIME="${BENCHTIME:-1s}" ./scripts/bench.sh >/dev/null 2>&1
+
+	extract "$baseline" >"$CUR.base"
+	extract "$CUR" >"$CUR.now"
+
+	join "$CUR.base" "$CUR.now" | awk -v tol="$TOL" '
+	{
+		name = $1; base = $2; now = $3
+		limit = base * (1 + tol)
+		bad += (now > limit)
+		printf "%-28s base %10.1f ns/op   now %10.1f ns/op   limit %10.1f   %s\n", \
+			name, base, now, limit, (now > limit ? "REGRESSION" : "ok")
+	}
+	END {
+		if (NR == 0) { print "bench_check: no comparable benchmarks found"; exit 2 }
+		if (bad > 0) { printf "bench_check: %d benchmark(s) regressed beyond +%.0f%%\n", bad, tol * 100; exit 1 }
+		printf "bench_check: %d benchmark(s) within +%.0f%% of baseline\n", NR, tol * 100
+	}'
+	rm -f "$CUR" "$CUR.base" "$CUR.now"
 }
-END {
-	if (NR == 0) { print "bench_check: no comparable benchmarks found"; exit 2 }
-	if (bad > 0) { printf "bench_check: %d kernel(s) regressed beyond +%.0f%%\n", bad, tol * 100; exit 1 }
-	printf "bench_check: %d kernel(s) within +%.0f%% of baseline\n", NR, tol * 100
-}'
+
+check_one BENCH_kernels.json \
+	'BenchmarkLZWEncode|BenchmarkLZWDecode|BenchmarkBZWEncode|BenchmarkBZWDecode|BenchmarkChunkExtract|BenchmarkHaarDecompose' \
+	.
+check_one BENCH_edge.json 'BenchmarkEdge' ./internal/edge

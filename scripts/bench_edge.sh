@@ -1,0 +1,13 @@
+#!/usr/bin/env sh
+# bench_edge.sh — run the edge-tier micro-benchmarks (cache key, cache
+# hit, eviction churn, fovea-tracker step) and record BENCH_edge.json at
+# the repo root. A thin retargeting of scripts/bench.sh; extra go-test
+# flags pass through.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BENCH_FILTER='BenchmarkEdge' \
+BENCH_PKG=./internal/edge \
+BENCH_OUT="${BENCH_OUT:-BENCH_edge.json}" \
+	./scripts/bench.sh "$@"

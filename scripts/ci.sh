@@ -12,12 +12,14 @@ go build ./...
 echo "== make lint (vet + staticcheck when installed)"
 make lint
 
-# Fast fail on the cluster control plane: the failover e2e test is the
-# most concurrency-heavy spot in the repo, so run it (and the avis
-# drain/concurrency tests) under -race before committing to the long
+# Fast fail on the cluster control plane and the edge cache tier: the
+# failover e2e test, the avis drain/concurrency tests, and the edge-tier
+# smoke (its seeded chaos schedule drives an origin reset plus a lossy
+# window through one edge node) are the most concurrency-heavy spots in
+# the repo, so run them under -race before committing to the long
 # full-suite run below.
-echo "== go test -race ./internal/cluster ./internal/avis (quick gate)"
-go test -race -timeout 5m ./internal/cluster ./internal/avis
+echo "== go test -race ./internal/cluster ./internal/avis ./internal/edge (quick gate)"
+go test -race -timeout 5m ./internal/cluster ./internal/avis ./internal/edge
 
 # The race detector slows the channel-heavy virtual-time experiments well
 # past the default 10m per-package test timeout, so raise it; wall-clock
@@ -31,9 +33,9 @@ go test -race -timeout 45m "$@" ./...
 echo "== go test -bench=. -benchtime=1x -short ./... (smoke)"
 go test -run '^$' -bench . -benchtime 1x -short -timeout 45m ./...
 
-# Perf gate: re-measure the data-plane kernels against the committed
-# baseline. BENCH_CHECK=0 skips it; BENCH_TOLERANCE loosens it on noisy
-# shared runners (CI uses 0.60, local default is 0.20).
+# Perf gate: re-measure the data-plane kernels and the edge cache tier
+# against the committed baselines. BENCH_CHECK=0 skips it; BENCH_TOLERANCE
+# loosens it on noisy shared runners (CI uses 0.60, local default 0.20).
 if [ "${BENCH_CHECK:-1}" = "1" ]; then
 	echo "== scripts/bench_check.sh (tolerance ${BENCH_TOLERANCE:-0.20})"
 	./scripts/bench_check.sh
