@@ -37,12 +37,14 @@ func main() {
 	dead := flag.Duration("dead", cluster.DefaultDeadAfter, "declare a node dead after this long without a heartbeat")
 	tick := flag.Duration("tick", 500*time.Millisecond, "failure-detector evaluation interval")
 	drain := flag.Duration("drain", 5*time.Second, "graceful-shutdown drain bound")
+	shards := flag.Int("shards", 0, "registry/session shard count, rounded up to a power of two (0 = scaled to GOMAXPROCS)")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /healthz on this address (empty = disabled)")
 	flag.Parse()
 
 	coord := cluster.NewCoordinator(cluster.Config{
 		SuspectAfter: *suspect,
 		DeadAfter:    *dead,
+		Shards:       *shards,
 	})
 	if *metricsAddr != "" {
 		start := time.Now()
@@ -59,7 +61,8 @@ func main() {
 		log.Fatalf("avis-coord: %v", err)
 	}
 	stopTicker := coord.StartTicker(*tick)
-	fmt.Printf("avis-coord: coordinating on %s (suspect %v, dead %v)\n", l.Addr(), *suspect, *dead)
+	fmt.Printf("avis-coord: coordinating on %s (suspect %v, dead %v, %d shards)\n",
+		l.Addr(), *suspect, *dead, coord.Shards())
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -1,0 +1,338 @@
+// Command avis-load is the control-plane swarm driver: it runs a large
+// population of client sessions (100k+ by default) against an in-process
+// sharded coordinator on a shared virtual clock, with per-node delta
+// batches standing in for the agents, and reports registry throughput and
+// placement-decision latency. Time is virtual — session arrivals, holds,
+// heartbeat flushes, and the failure-detector deadlines all advance on
+// vtime.SharedClock steps — but the work is real and truly concurrent:
+// every resolve, delta apply, and end-session runs on the coordinator's
+// sharded core from parallel workers, which is what makes the run
+// meaningful under -race.
+//
+// Mid-run it kills a fraction of the fleet (-kill) and verifies the death
+// protocol end to end: every killed node is declared dead (no misses), no
+// live node is (no spurious deaths), and every session the dead nodes
+// carried is re-placed (failover) and still completes.
+//
+// Usage:
+//
+//	avis-load                                  # 10k nodes, 100k sessions
+//	avis-load -nodes 200 -sessions 1000        # smoke
+//	go run -race ./cmd/avis-load               # the acceptance run
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tunable/internal/cluster"
+	"tunable/internal/metrics"
+	"tunable/internal/vtime"
+)
+
+func nodeID(i int) string { return fmt.Sprintf("node-%05d", i) }
+
+func nodeIndex(id string) int {
+	n, err := strconv.Atoi(id[len("node-"):])
+	if err != nil {
+		panic("avis-load: foreign node id " + id)
+	}
+	return n
+}
+
+// summary is the machine-readable run report (-out).
+type summary struct {
+	Nodes      int     `json:"nodes"`
+	Sessions   int     `json:"sessions"`
+	Shards     int     `json:"shards"`
+	Workers    int     `json:"workers"`
+	Killed     int     `json:"killed"`
+	Failovers  int     `json:"failovers"`
+	VirtualSec float64 `json:"virtual_sec"`
+	WallSec    float64 `json:"wall_sec"`
+
+	RegistryOps    int64   `json:"registry_ops"`
+	RegistryOpsSec float64 `json:"registry_ops_per_sec"`
+	HeartbeatOps   int64   `json:"heartbeat_entries"`
+	DeltaBatches   int64   `json:"delta_batches"`
+
+	PlaceP50us float64 `json:"placement_p50_us"`
+	PlaceP95us float64 `json:"placement_p95_us"`
+	PlaceP99us float64 `json:"placement_p99_us"`
+}
+
+func main() {
+	nodes := flag.Int("nodes", 10000, "simulated nodes in the registry")
+	sessions := flag.Int("sessions", 100000, "client sessions to run to completion")
+	shards := flag.Int("shards", 0, "coordinator shard count (0 = default)")
+	workers := flag.Int("workers", 8, "concurrent driver workers")
+	step := flag.Duration("step", 200*time.Millisecond, "virtual time per driver step")
+	ramp := flag.Duration("ramp", time.Minute, "virtual arrival window for all sessions")
+	hold := flag.Duration("hold", 20*time.Second, "mean virtual session hold time (uniform ±50%)")
+	heartbeat := flag.Duration("heartbeat", time.Second, "virtual delta-flush cadence per node")
+	batch := flag.Int("batch", 128, "delta entries per batch")
+	suspect := flag.Duration("suspect", cluster.DefaultSuspectAfter, "detector suspect deadline")
+	dead := flag.Duration("dead", cluster.DefaultDeadAfter, "detector death deadline")
+	kill := flag.Float64("kill", 0.01, "fraction of nodes killed mid-ramp")
+	sessionCPU := flag.Float64("session-cpu", 0.001, "per-session CPU share for admission")
+	seed := flag.Int64("seed", 1, "prng seed for session hold times and the kill set")
+	out := flag.String("out", "", "write a JSON run summary here")
+	flag.Parse()
+
+	clk := &vtime.SharedClock{}
+	coord := cluster.NewCoordinator(cluster.Config{
+		SuspectAfter: *suspect,
+		DeadAfter:    *dead,
+		Now:          clk.Now,
+		Shards:       *shards,
+	})
+	reg := metrics.New(metrics.WithNow(clk.Now))
+	coord.EnableMetrics(reg)
+	placeHist := reg.Histogram("cluster_placement_latency_seconds",
+		"Wall time per placement decision (Resolve).")
+
+	wallStart := time.Now()
+	var ops atomic.Int64 // registry ops applied: registers, delta entries, resolves, ends
+
+	// Register the fleet from parallel workers.
+	runParallel(*workers, *nodes, func(w, i int) {
+		info := cluster.NodeInfo{
+			ID: nodeID(i), Addr: fmt.Sprintf("10.0.%d.%d:7000", i/256, i%256),
+			CPU: 1, Side: 8, Levels: 1, Seeds: []int64{42},
+		}
+		if err := coord.Register(info); err != nil {
+			log.Fatalf("avis-load: register %s: %v", info.ID, err)
+		}
+		ops.Add(1)
+	})
+	fmt.Printf("avis-load: %d nodes registered in %d shards\n", *nodes, coord.Shards())
+
+	rng := rand.New(rand.NewSource(*seed))
+	nKill := int(float64(*nodes) * *kill)
+	killSet := make(map[int]bool, nKill)
+	for len(killSet) < nKill {
+		killSet[rng.Intn(*nodes)] = true
+	}
+
+	// Per-session record: the node currently serving it (written by the
+	// worker that placed it, re-written on failover).
+	sessNode := make([]atomic.Int32, *sessions)
+	// Net session delta per node since its last flush.
+	nodeDelta := make([]atomic.Int32, *nodes)
+	var deltaBatches, hbEntries, failovers atomic.Int64
+
+	resolve := func(sid int, exclude []string) {
+		t0 := time.Now()
+		grant, err := coord.Resolve(cluster.ResolveRequest{
+			SID: "s-" + strconv.Itoa(sid), CPU: *sessionCPU, Exclude: exclude,
+		})
+		placeHist.Observe(time.Since(t0).Seconds())
+		if err != nil {
+			log.Fatalf("avis-load: resolve session %d: %v", sid, err)
+		}
+		ni := nodeIndex(grant.NodeID)
+		sessNode[sid].Store(int32(ni))
+		nodeDelta[ni].Add(1)
+		ops.Add(1)
+		if len(exclude) > 0 {
+			if !grant.Failover {
+				log.Fatalf("avis-load: re-resolve of session %d not flagged as failover", sid)
+			}
+			failovers.Add(1)
+		}
+	}
+	end := func(sid int) {
+		coord.EndSession("s-" + strconv.Itoa(sid))
+		nodeDelta[sessNode[sid].Load()].Add(-1)
+		ops.Add(1)
+	}
+	// flushDeltas plays the agents' role for the worker's node range:
+	// swap out each live node's pending delta and apply them in batches.
+	flushDeltas := func(w int, killedLive bool) {
+		entries := make([]cluster.DeltaEntry, 0, *batch)
+		apply := func() {
+			if len(entries) == 0 {
+				return
+			}
+			if unknown := coord.ApplyDeltas(entries); len(unknown) != 0 {
+				log.Fatalf("avis-load: live node refused delta: %v", unknown[0])
+			}
+			ops.Add(int64(len(entries)))
+			hbEntries.Add(int64(len(entries)))
+			deltaBatches.Add(1)
+			entries = entries[:0]
+		}
+		for i := w; i < *nodes; i += *workers {
+			if !killedLive && killSet[i] {
+				continue // a killed node's agent is gone
+			}
+			entries = append(entries, cluster.DeltaEntry{ID: nodeID(i), Sessions: nodeDelta[i].Swap(0)})
+			if len(entries) == *batch {
+				apply()
+			}
+		}
+		apply()
+	}
+
+	// The driver: one goroutine schedules virtual steps; the swarm work of
+	// each step (arrivals, expiries, heartbeat flushes) runs on parallel
+	// workers before the clock advances to the next step.
+	endBuckets := make(map[int64][]int)
+	var (
+		t            time.Duration
+		started      int
+		endedCount   int
+		nextHB       time.Duration
+		killAt       = *ramp / 2
+		deadCheckAt  = killAt + *dead + 2**step
+		nodesKilled  = false
+		failoverDone = false
+	)
+	if nKill == 0 {
+		nodesKilled, failoverDone = true, true
+	}
+	for started < *sessions || endedCount < *sessions || !failoverDone {
+		t += *step
+		clk.Advance(*step)
+		stepIdx := int64(t / *step)
+
+		// Schedule this step's arrivals and look up its expiries.
+		var startIDs []int
+		target := *sessions
+		if t < *ramp {
+			target = int(float64(*sessions) * (float64(t) / float64(*ramp)))
+		}
+		for ; started < target; started++ {
+			startIDs = append(startIDs, started)
+			holdD := time.Duration(float64(*hold) * (0.5 + rng.Float64()))
+			bucket := int64((t+holdD)/(*step)) + 1
+			endBuckets[bucket] = append(endBuckets[bucket], started)
+		}
+		endIDs := endBuckets[stepIdx]
+		delete(endBuckets, stepIdx)
+
+		doHB := t >= nextHB
+		if doHB {
+			nextHB = t + *heartbeat
+		}
+
+		var wg sync.WaitGroup
+		for w := 0; w < *workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for j := w; j < len(startIDs); j += *workers {
+					resolve(startIDs[j], nil)
+				}
+				for j := w; j < len(endIDs); j += *workers {
+					end(endIDs[j])
+				}
+				if doHB {
+					flushDeltas(w, !nodesKilled)
+				}
+			}(w)
+		}
+		wg.Wait()
+		endedCount += len(endIDs)
+
+		if !nodesKilled && t >= killAt {
+			nodesKilled = true
+			fmt.Printf("avis-load: t=%v: killing %d nodes\n", t, nKill)
+		}
+		coord.Tick()
+
+		if !failoverDone && t >= deadCheckAt {
+			failoverDone = true
+			deadNodes := 0
+			for _, st := range coord.Nodes() {
+				isKilled := killSet[nodeIndex(st.ID)]
+				if st.State == "dead" {
+					deadNodes++
+				}
+				if isKilled != (st.State == "dead") {
+					log.Fatalf("avis-load: node %s killed=%v but state=%s", st.ID, isKilled, st.State)
+				}
+			}
+			if deadNodes != nKill {
+				log.Fatalf("avis-load: %d nodes dead, killed %d", deadNodes, nKill)
+			}
+			// Fail the orphaned sessions over, in parallel.
+			var orphans []int
+			for _, ids := range endBuckets {
+				for _, sid := range ids {
+					if killSet[int(sessNode[sid].Load())] {
+						orphans = append(orphans, sid)
+					}
+				}
+			}
+			runParallel(*workers, len(orphans), func(w, j int) {
+				sid := orphans[j]
+				resolve(sid, []string{nodeID(int(sessNode[sid].Load()))})
+			})
+			fmt.Printf("avis-load: t=%v: %d deaths confirmed, %d sessions failed over\n",
+				t, deadNodes, len(orphans))
+		}
+	}
+
+	wall := time.Since(wallStart)
+	// End-of-run validation: the swarm drained completely and the death
+	// accounting matches exactly.
+	if g := reg.Gauge("cluster_sessions", "Sessions currently placed or awaiting failover.").Value(); g != 0 {
+		log.Fatalf("avis-load: %v sessions still registered after drain", g)
+	}
+	if d := reg.Counter("cluster_node_deaths_total", "Nodes declared dead by the failure detector.").Value(); int(d) != nKill {
+		log.Fatalf("avis-load: deaths counter %v, killed %d", d, nKill)
+	}
+
+	s := summary{
+		Nodes: *nodes, Sessions: *sessions, Shards: coord.Shards(), Workers: *workers,
+		Killed: nKill, Failovers: int(failovers.Load()),
+		VirtualSec: t.Seconds(), WallSec: wall.Seconds(),
+		RegistryOps:    ops.Load(),
+		RegistryOpsSec: float64(ops.Load()) / wall.Seconds(),
+		HeartbeatOps:   hbEntries.Load(),
+		DeltaBatches:   deltaBatches.Load(),
+		PlaceP50us:     placeHist.Quantile(0.50) * 1e6,
+		PlaceP95us:     placeHist.Quantile(0.95) * 1e6,
+		PlaceP99us:     placeHist.Quantile(0.99) * 1e6,
+	}
+	fmt.Printf("avis-load: %d sessions completed on %d nodes (%d killed, %d failovers)\n",
+		*sessions, *nodes, nKill, s.Failovers)
+	fmt.Printf("avis-load: %.1fs virtual in %.1fs wall; %d registry ops (%.0f ops/sec)\n",
+		s.VirtualSec, s.WallSec, s.RegistryOps, s.RegistryOpsSec)
+	fmt.Printf("avis-load: placement latency p50 %.1fµs  p95 %.1fµs  p99 %.1fµs\n",
+		s.PlaceP50us, s.PlaceP95us, s.PlaceP99us)
+	if *out != "" {
+		data, err := json.MarshalIndent(s, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			log.Fatalf("avis-load: %v", err)
+		}
+		fmt.Printf("avis-load: wrote %s\n", *out)
+	}
+}
+
+// runParallel splits n items across w workers and waits.
+func runParallel(w, n int, fn func(worker, i int)) {
+	var wg sync.WaitGroup
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			for i := k; i < n; i += w {
+				fn(k, i)
+			}
+		}(k)
+	}
+	wg.Wait()
+}

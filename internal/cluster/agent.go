@@ -3,18 +3,29 @@ package cluster
 import (
 	"fmt"
 	"log"
+	"math/rand/v2"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"tunable/internal/bufpool"
 	"tunable/internal/metrics"
 )
 
+// hbJitter is the fraction of the heartbeat interval each beat is
+// randomized by (±10%): after a coordinator restart every agent rejoins
+// at once, and without jitter their flush timers stay phase-locked,
+// hammering the coordinator in synchronized waves forever.
+const hbJitter = 0.10
+
 // Agent is the node-side half of the registry: it registers a server with
-// the coordinator and renews it with periodic heartbeats carrying the
-// current load. It survives coordinator restarts — a heartbeat answered
-// with Known=false (or a broken connection) triggers re-registration on
-// the next beat.
+// the coordinator and renews it with periodic flushes of the node's
+// coalesced load delta (a one-entry binary delta batch — the liveness
+// signal is the frame itself, the payload is the net session change since
+// the last accepted flush, so an idle node's heartbeat costs no JSON and
+// no allocation on either side). It survives coordinator restarts — a
+// flush answered with its own ID in ack.Unknown (or a broken connection)
+// triggers re-registration on the next beat.
 type Agent struct {
 	cl       *client
 	node     NodeInfo
@@ -24,6 +35,11 @@ type Agent struct {
 	stopOnce sync.Once
 	stop     chan struct{}
 	done     chan struct{}
+
+	// lastSent is the active-session count last accepted by the
+	// coordinator; the next flush carries the net delta from here. Only
+	// the run goroutine touches it.
+	lastSent int
 
 	// consecutive heartbeat failures; reset on the first beat that lands.
 	// Read by tests through MissedBeats.
@@ -106,41 +122,65 @@ func (a *Agent) register() error {
 	return err
 }
 
-// run is the heartbeat loop.
+// jittered draws the next beat delay: interval ± hbJitter.
+func (a *Agent) jittered() time.Duration {
+	return time.Duration(float64(a.interval) * (1 + hbJitter*(2*rand.Float64()-1)))
+}
+
+// run is the heartbeat loop: each beat flushes the coalesced load delta
+// on a jittered interval.
 func (a *Agent) run() {
 	defer close(a.done)
-	t := time.NewTicker(a.interval)
+	t := time.NewTimer(a.jittered())
 	defer t.Stop()
 	for {
 		select {
 		case <-a.stop:
 			return
 		case <-t.C:
-			ack, err := a.cl.call(encodeCtrl(ctagHeartbeat, heartbeatMsg{ID: a.node.ID, Load: a.load()}))
-			if err != nil {
-				// The call layer already retried with backoff; a failure here
-				// means the coordinator is unreachable (partition, crash).
-				// Keep beating at interval pace — when the partition heals the
-				// Known=false answer below triggers the rejoin — but log only
-				// the first miss of a run so a long partition is one line, not
-				// a flood.
-				if a.missed.Add(1) == 1 {
-					log.Printf("cluster: agent %s: heartbeat: %v", a.node.ID, err)
-				}
-				a.mBeatFailures.Inc()
-				continue
-			}
-			a.missed.Store(0)
-			if !ack.Known {
-				// Coordinator restarted or declared us dead: rejoin.
-				if err := a.register(); err != nil {
-					log.Printf("cluster: agent %s: re-register: %v", a.node.ID, err)
-				} else {
-					a.mRejoins.Inc()
-				}
-			}
+			a.flush()
+			t.Reset(a.jittered())
 		}
 	}
+}
+
+// flush sends one delta frame and handles the rejoin protocol.
+func (a *Agent) flush() {
+	cur := a.load().ActiveSessions
+	frame, err := EncodeDeltaBatch([]DeltaEntry{{ID: a.node.ID, Sessions: int32(cur - a.lastSent)}})
+	if err != nil {
+		log.Printf("cluster: agent %s: encode delta: %v", a.node.ID, err)
+		return
+	}
+	ack, err := a.cl.call(frame)
+	bufpool.Put(frame)
+	if err != nil {
+		// The call layer already retried with backoff; a failure here
+		// means the coordinator is unreachable (partition, crash). Keep
+		// beating at interval pace — the delta stays accumulated locally,
+		// and when the partition heals the next flush carries the whole
+		// net change — but log only the first miss of a run so a long
+		// partition is one line, not a flood.
+		if a.missed.Add(1) == 1 {
+			log.Printf("cluster: agent %s: heartbeat: %v", a.node.ID, err)
+		}
+		a.mBeatFailures.Inc()
+		return
+	}
+	a.missed.Store(0)
+	if len(ack.Unknown) > 0 {
+		// Coordinator restarted or declared us dead: rejoin. The fresh
+		// registration starts from zero load, so the next delta must carry
+		// the absolute count.
+		if err := a.register(); err != nil {
+			log.Printf("cluster: agent %s: re-register: %v", a.node.ID, err)
+		} else {
+			a.lastSent = 0
+			a.mRejoins.Inc()
+		}
+		return
+	}
+	a.lastSent = cur
 }
 
 // Close stops the heartbeat loop; when deregister is true it also sends a

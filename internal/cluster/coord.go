@@ -4,8 +4,10 @@ import (
 	"bufio"
 	"fmt"
 	"net"
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"tunable/internal/avis"
@@ -29,6 +31,50 @@ type Config struct {
 	// connections; 0 (the default) waits forever, since heartbeat
 	// connections are idle between beats.
 	IOTimeout time.Duration
+	// Shards is the number of registry/session shards (rounded up to a
+	// power of two; 0 picks a default scaled to GOMAXPROCS). Node and
+	// session state is partitioned by fnv-1a hash of the ID, each shard
+	// with its own lock, failure-detector timer wheel, and admission
+	// state, so control-plane ops on different shards never contend.
+	Shards int
+}
+
+const (
+	// commitThreshold is the net-delta commit threshold for hot shard-local
+	// counters: per-op telemetry increments accumulate unshared under the
+	// shard lock and commit to the shared counter only when the pending net
+	// delta reaches this many ops (or on the next detector tick, which
+	// flushes the remainder). The VSA-vs-atomic-vs-batching harness in
+	// counter_bench_test.go measures why: see BENCH_control.json.
+	commitThreshold = 64
+	// placeSample bounds how many candidates a placement gathers before
+	// sorting: at fleet scale scanning every node per resolve would make
+	// placement O(nodes). Small clusters are always scanned completely (the
+	// sample covers them), and a sampled placement that finds no admissible
+	// node falls back to one exhaustive scan before refusing.
+	placeSample = 64
+)
+
+// pending is a thresholded net-delta commit accumulator (the "VSA" design
+// from the counter harness): adds coalesce into a local float under the
+// owning shard's lock and flush into the shared counter in one Add.
+type pending struct {
+	n    float64
+	sink *metrics.Counter
+}
+
+func (p *pending) add(n float64) {
+	p.n += n
+	if p.n >= commitThreshold {
+		p.flush()
+	}
+}
+
+func (p *pending) flush() {
+	if p.n != 0 {
+		p.sink.Add(p.n)
+		p.n = 0
+	}
 }
 
 // node is one registry entry.
@@ -37,6 +83,10 @@ type node struct {
 	sig  string
 	load Load
 	host *sandbox.Host
+	// resv indexes the reservations placed on this node by session ID —
+	// the shard-local inverse of the session table, so orphaning a dead
+	// node's sessions is O(its sessions), not O(all sessions).
+	resv map[string]*scheduler.Reservation
 }
 
 // session is one placed client session.
@@ -47,20 +97,57 @@ type session struct {
 	placed bool // ever successfully placed; a later re-place is a failover
 }
 
-// Coordinator owns the cluster registry, failure detector, and
-// admission-controlled placement. All state is guarded by mu; the network
-// front end (Serve) and the detector pump (Tick) are thin shells over the
-// locked core, so the coordinator can also be driven entirely in-process
-// by tests.
-type Coordinator struct {
-	cfg Config
+// orphanRef records a reservation released while tearing down a node; the
+// owning session record (in a different shard) is detached afterwards.
+type orphanRef struct {
+	sid string
+	res *scheduler.Reservation
+}
 
+// nodeShard is one partition of the registry: nodes whose ID hashes here,
+// their failure-detector timer wheel, and the admission state for their
+// hosts. All fields are guarded by mu; read-heavy paths (candidate scans,
+// registry listings) take it shared.
+type nodeShard struct {
+	mu    sync.RWMutex
+	det   *Detector
+	adm   *scheduler.Admission
+	nodes map[string]*node
+
+	// Hot-path telemetry under thresholded net-delta commits (flushed by
+	// Tick); guarded by mu like the rest of the shard.
+	pendBeats  pending // cluster_heartbeats_total
+	pendBeatOp pending // cluster_shard_ops_total{op="heartbeat"}
+}
+
+// sessionShard is one partition of the session table.
+type sessionShard struct {
 	mu       sync.Mutex
-	det      *Detector
-	adm      *scheduler.Admission
-	sim      *vtime.Sim // host factory bookkeeping only; never run
-	nodes    map[string]*node
 	sessions map[string]*session
+}
+
+// Coordinator owns the cluster registry, failure detector, and
+// admission-controlled placement. State is partitioned into power-of-two
+// shards (nodes and sessions hashed separately), each with its own lock,
+// so registry ops scale with cores instead of serializing on one mutex;
+// the network front end (Serve) and the detector pump (Tick) are thin
+// shells over the sharded core, so the coordinator can also be driven
+// entirely in-process by tests and by cmd/avis-load.
+//
+// Lock order: a session shard's lock may be held while taking a node
+// shard's lock (placement, release), never the reverse — node-side
+// teardown collects orphaned reservations under the node lock and
+// detaches the session records after releasing it.
+type Coordinator struct {
+	cfg  Config
+	mask uint32
+
+	nshards []*nodeShard
+	sshards []*sessionShard
+
+	sim       *vtime.Sim   // host factory bookkeeping only; never run
+	nSessions atomic.Int64 // session count across shards
+	rot       atomic.Uint32
 
 	connMu    sync.Mutex
 	conns     map[net.Conn]struct{}
@@ -80,6 +167,53 @@ type Coordinator struct {
 	mFailovers     *metrics.Counter
 	mResolves      *metrics.Counter
 	mNoCapacity    *metrics.Counter
+
+	mOpRegister   *metrics.Counter
+	mOpDeregister *metrics.Counter
+	mOpResolve    *metrics.Counter
+	mOpEndSession *metrics.Counter
+	mOpDeltaBatch *metrics.Counter
+	mBatchSize    *metrics.Histogram
+	mPlaceLatency *metrics.Histogram
+}
+
+// defaultShards picks the shard count for Config.Shards == 0: enough
+// partitions that independent cores rarely collide (4× GOMAXPROCS), at
+// least 8 so single-core builds still exercise the sharded paths.
+func defaultShards() int {
+	n := 4 * runtime.GOMAXPROCS(0)
+	if n < 8 {
+		n = 8
+	}
+	return n
+}
+
+// ceilPow2 rounds n up to the next power of two.
+func ceilPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// fnvHash is FNV-1a over the ID, the shard key.
+func fnvHash(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+func fnvHashBytes(b []byte) uint32 {
+	h := uint32(2166136261)
+	for _, c := range b {
+		h ^= uint32(c)
+		h *= 16777619
+	}
+	return h
 }
 
 // NewCoordinator creates an empty coordinator.
@@ -88,16 +222,43 @@ func NewCoordinator(cfg Config) *Coordinator {
 		start := time.Now()
 		cfg.Now = func() time.Duration { return time.Since(start) }
 	}
-	return &Coordinator{
-		cfg:      cfg,
-		det:      NewDetector(cfg.SuspectAfter, cfg.DeadAfter),
-		adm:      scheduler.NewAdmission(),
-		sim:      vtime.NewSim(),
-		nodes:    make(map[string]*node),
-		sessions: make(map[string]*session),
-		conns:    make(map[net.Conn]struct{}),
+	n := cfg.Shards
+	if n <= 0 {
+		n = defaultShards()
 	}
+	n = ceilPow2(n)
+	if n > 1024 {
+		n = 1024
+	}
+	c := &Coordinator{
+		cfg:     cfg,
+		mask:    uint32(n - 1),
+		nshards: make([]*nodeShard, n),
+		sshards: make([]*sessionShard, n),
+		sim:     vtime.NewSim(),
+		conns:   make(map[net.Conn]struct{}),
+	}
+	for i := range c.nshards {
+		c.nshards[i] = &nodeShard{
+			det:   NewDetector(cfg.SuspectAfter, cfg.DeadAfter),
+			adm:   scheduler.NewAdmission(),
+			nodes: make(map[string]*node),
+		}
+		c.sshards[i] = &sessionShard{sessions: make(map[string]*session)}
+	}
+	return c
 }
+
+func (c *Coordinator) nodeShardFor(id string) *nodeShard {
+	return c.nshards[fnvHash(id)&c.mask]
+}
+
+func (c *Coordinator) sessionShardFor(sid string) *sessionShard {
+	return c.sshards[fnvHash(sid)&c.mask]
+}
+
+// Shards reports the coordinator's shard count.
+func (c *Coordinator) Shards() int { return len(c.nshards) }
 
 // EnableMetrics instruments the coordinator. Metric families:
 // cluster_nodes (gauge, labeled state=alive|suspect|dead),
@@ -105,9 +266,13 @@ func NewCoordinator(cfg Config) *Coordinator {
 // cluster_heartbeats_total, cluster_heartbeat_gap_seconds (inter-arrival
 // gap per heartbeat — the quantity the deadline detector thresholds),
 // cluster_node_deaths_total, cluster_failovers_total (sessions re-placed
-// after their node failed), cluster_resolves_total, and
-// cluster_no_capacity_total; plus the scheduler's sched_admission_*
-// families for the underlying reservations.
+// after their node failed), cluster_resolves_total,
+// cluster_no_capacity_total, cluster_shard_ops_total (labeled by op —
+// register|heartbeat|deregister|resolve|end_session|delta_batch, a closed
+// set), cluster_delta_batch_size (entries per delta frame), and
+// cluster_placement_latency_seconds (wall time per placement decision);
+// plus the scheduler's sched_admission_* families for the underlying
+// reservations.
 func (c *Coordinator) EnableMetrics(reg *metrics.Registry) {
 	c.mNodesAlive = reg.Gauge("cluster_nodes", "Registered nodes by detector state.", metrics.L("state", "alive"))
 	c.mNodesSuspect = reg.Gauge("cluster_nodes", "Registered nodes by detector state.", metrics.L("state", "suspect"))
@@ -121,25 +286,84 @@ func (c *Coordinator) EnableMetrics(reg *metrics.Registry) {
 	c.mFailovers = reg.Counter("cluster_failovers_total", "Sessions re-placed onto a replacement node.")
 	c.mResolves = reg.Counter("cluster_resolves_total", "Session placement requests served.")
 	c.mNoCapacity = reg.Counter("cluster_no_capacity_total", "Placements refused for lack of admissible capacity.")
-	c.adm.EnableMetrics(reg)
-}
-
-// updateStateGauges recomputes the per-state node gauges; callers hold mu.
-func (c *Coordinator) updateStateGauges() {
+	const opsHelp = "Registry operations applied, by op (shard-local)."
+	c.mOpRegister = reg.Counter("cluster_shard_ops_total", opsHelp, metrics.L("op", "register"))
+	c.mOpDeregister = reg.Counter("cluster_shard_ops_total", opsHelp, metrics.L("op", "deregister"))
+	c.mOpResolve = reg.Counter("cluster_shard_ops_total", opsHelp, metrics.L("op", "resolve"))
+	c.mOpEndSession = reg.Counter("cluster_shard_ops_total", opsHelp, metrics.L("op", "end_session"))
+	c.mOpDeltaBatch = reg.Counter("cluster_shard_ops_total", opsHelp, metrics.L("op", "delta_batch"))
+	heartbeatOps := reg.Counter("cluster_shard_ops_total", opsHelp, metrics.L("op", "heartbeat"))
+	c.mBatchSize = reg.Histogram("cluster_delta_batch_size", "Entries per heartbeat delta batch.")
+	c.mPlaceLatency = reg.Histogram("cluster_placement_latency_seconds",
+		"Wall time per placement decision (Resolve).")
+	// Per-state gauges are maintained incrementally from here on; seed them
+	// (and the hot-counter sinks) with the current registry contents.
 	var alive, suspect, dead float64
-	for id := range c.nodes {
-		switch st, _ := c.det.State(id); st {
-		case StateAlive:
-			alive++
-		case StateSuspect:
-			suspect++
-		case StateDead:
-			dead++
+	for _, ns := range c.nshards {
+		ns.mu.Lock()
+		for id := range ns.nodes {
+			switch st, _ := ns.det.State(id); st {
+			case StateAlive:
+				alive++
+			case StateSuspect:
+				suspect++
+			case StateDead:
+				dead++
+			}
 		}
+		ns.pendBeats = pending{sink: c.mHeartbeats}
+		ns.pendBeatOp = pending{sink: heartbeatOps}
+		ns.adm.EnableMetrics(reg)
+		ns.mu.Unlock()
 	}
 	c.mNodesAlive.Set(alive)
 	c.mNodesSuspect.Set(suspect)
 	c.mNodesDead.Set(dead)
+	c.mSessions.Set(float64(c.nSessions.Load()))
+}
+
+// gaugeFor maps a detector state to its cluster_nodes gauge.
+func (c *Coordinator) gaugeFor(st NodeState) *metrics.Gauge {
+	switch st {
+	case StateAlive:
+		return c.mNodesAlive
+	case StateSuspect:
+		return c.mNodesSuspect
+	default:
+		return c.mNodesDead
+	}
+}
+
+// releaseNodeLocked releases every reservation placed on n and returns
+// the orphan refs so the caller can detach the session records once the
+// shard lock is dropped; callers hold the node shard's lock.
+func releaseNodeLocked(n *node) []orphanRef {
+	if len(n.resv) == 0 {
+		return nil
+	}
+	orphans := make([]orphanRef, 0, len(n.resv))
+	for sid, res := range n.resv {
+		res.Release()
+		orphans = append(orphans, orphanRef{sid: sid, res: res})
+	}
+	n.resv = make(map[string]*scheduler.Reservation)
+	return orphans
+}
+
+// detachSessions marks orphaned sessions for failover. Called with no
+// locks held; each session record is detached only if it still points at
+// the released reservation, so a placement that already moved the session
+// elsewhere is left alone.
+func (c *Coordinator) detachSessions(orphans []orphanRef) {
+	for _, o := range orphans {
+		ss := c.sessionShardFor(o.sid)
+		ss.mu.Lock()
+		if s := ss.sessions[o.sid]; s != nil && s.res == o.res {
+			s.res = nil
+			s.nodeID = ""
+		}
+		ss.mu.Unlock()
+	}
 }
 
 // Register admits a node into the registry (or re-admits a restarted or
@@ -157,97 +381,206 @@ func (c *Coordinator) Register(info NodeInfo) error {
 	if mem <= 0 {
 		mem = 512 << 20
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if old := c.nodes[info.ID]; old != nil {
-		c.orphanSessionsLocked(info.ID)
-		c.adm.RemoveHost(info.ID)
+	ns := c.nodeShardFor(info.ID)
+	var orphans []orphanRef
+	ns.mu.Lock()
+	if old := ns.nodes[info.ID]; old != nil {
+		orphans = releaseNodeLocked(old)
+		ns.adm.RemoveHost(info.ID)
+		if st, ok := ns.det.State(info.ID); ok {
+			c.gaugeFor(st).Add(-1)
+		}
+		delete(ns.nodes, info.ID)
 	}
 	host := sandbox.NewHost(c.sim, info.ID, 1e9, sandbox.WithMemory(mem))
-	if err := c.adm.AddHost(host); err != nil {
+	if err := ns.adm.AddHost(host); err != nil {
+		ns.mu.Unlock()
+		c.detachSessions(orphans)
 		return err
 	}
 	// The sandbox layer always admits up to MaxReservable (1.0); a node
 	// declaring less carries a placeholder reservation for the difference.
 	if info.CPU < sandbox.MaxReservable {
 		if _, err := host.NewSandbox("!capacity", sandbox.MaxReservable-info.CPU, 0); err != nil {
-			c.adm.RemoveHost(info.ID)
+			ns.adm.RemoveHost(info.ID)
+			ns.mu.Unlock()
+			c.detachSessions(orphans)
 			return fmt.Errorf("cluster: capacity placeholder: %w", err)
 		}
 	}
-	c.nodes[info.ID] = &node{info: info, sig: info.StoreSig(), host: host}
-	c.det.Register(info.ID, c.cfg.Now())
+	ns.nodes[info.ID] = &node{
+		info: info, sig: info.StoreSig(), host: host,
+		resv: make(map[string]*scheduler.Reservation),
+	}
+	ns.det.Register(info.ID, c.cfg.Now())
+	ns.mu.Unlock()
+	c.mNodesAlive.Add(1)
 	c.mRegistrations.Inc()
-	c.mSessions.Set(float64(len(c.sessions)))
-	c.updateStateGauges()
+	c.mOpRegister.Inc()
+	c.detachSessions(orphans)
 	return nil
+}
+
+// observeLocked applies one liveness observation (a heartbeat or a delta
+// entry) to a node in ns; callers hold ns.mu. It settles the per-state
+// gauges when the beat revives a suspect.
+func (c *Coordinator) observeLocked(ns *nodeShard, id string) bool {
+	gap, prev, ok := ns.det.Observe(id, c.cfg.Now())
+	if !ok {
+		return false
+	}
+	if prev == StateSuspect {
+		c.mNodesSuspect.Add(-1)
+		c.mNodesAlive.Add(1)
+	}
+	ns.pendBeats.add(1)
+	ns.pendBeatOp.add(1)
+	c.mHeartbeatGap.Observe(gap.Seconds())
+	return true
 }
 
 // Heartbeat renews a node's lease and records its load. It reports
 // whether the coordinator knows the node: false tells the agent to
 // re-register (the coordinator restarted, or the node was declared dead).
 func (c *Coordinator) Heartbeat(id string, load Load) bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	n := c.nodes[id]
-	if n == nil {
-		return false
-	}
-	gap, ok := c.det.Observe(id, c.cfg.Now())
-	if !ok {
+	ns := c.nodeShardFor(id)
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	n := ns.nodes[id]
+	if n == nil || !c.observeLocked(ns, id) {
 		return false
 	}
 	n.load = load
-	c.mHeartbeats.Inc()
-	c.mHeartbeatGap.Observe(gap.Seconds())
-	c.updateStateGauges()
+	return true
+}
+
+// ApplyDeltas applies one batch of coalesced heartbeat deltas: each entry
+// renews its node's lease and folds the net session change into the
+// node's load, shard-locally. It returns the IDs the coordinator refused
+// (unknown or dead nodes) so the agent re-registers them and resends an
+// absolute count. This is the in-process twin of the ctagDelta wire path
+// — cmd/avis-load drives it directly.
+func (c *Coordinator) ApplyDeltas(entries []DeltaEntry) (unknown []string) {
+	var cur *nodeShard
+	for _, e := range entries {
+		ns := c.nodeShardFor(e.ID)
+		if ns != cur {
+			if cur != nil {
+				cur.mu.Unlock()
+			}
+			ns.mu.Lock()
+			cur = ns
+		}
+		if !c.applyDeltaLocked(ns, e.ID, e.Sessions) {
+			unknown = append(unknown, e.ID)
+		}
+	}
+	if cur != nil {
+		cur.mu.Unlock()
+	}
+	c.mOpDeltaBatch.Inc()
+	c.mBatchSize.Observe(float64(len(entries)))
+	return unknown
+}
+
+// applyDeltaFrame is the wire twin of ApplyDeltas: it walks the binary
+// frame without allocating (IDs index the registry map directly from the
+// frame bytes) and answers with the refused IDs.
+func (c *Coordinator) applyDeltaFrame(msg []byte) (ackMsg, error) {
+	var unknown []string
+	var cur *nodeShard
+	count := 0
+	err := forEachDelta(msg, func(id []byte, sessions int32) {
+		count++
+		ns := c.nshards[fnvHashBytes(id)&c.mask]
+		if ns != cur {
+			if cur != nil {
+				cur.mu.Unlock()
+			}
+			ns.mu.Lock()
+			cur = ns
+		}
+		if !c.applyDeltaLocked(ns, string(id), sessions) {
+			unknown = append(unknown, string(id))
+		}
+	})
+	if cur != nil {
+		cur.mu.Unlock()
+	}
+	if err != nil {
+		return ackMsg{}, err
+	}
+	c.mOpDeltaBatch.Inc()
+	c.mBatchSize.Observe(float64(count))
+	return ackMsg{OK: true, Unknown: unknown}, nil
+}
+
+// applyDeltaLocked applies one delta entry; callers hold ns.mu. The id is
+// only used as a map key, so the zero-alloc string(bytes) lookup in the
+// frame path stays zero-alloc.
+func (c *Coordinator) applyDeltaLocked(ns *nodeShard, id string, sessions int32) bool {
+	n := ns.nodes[id]
+	if n == nil || !c.observeLocked(ns, id) {
+		return false
+	}
+	n.load.ActiveSessions += int(sessions)
+	if n.load.ActiveSessions < 0 {
+		n.load.ActiveSessions = 0
+	}
 	return true
 }
 
 // Deregister removes a node cleanly (graceful shutdown): its sessions are
 // orphaned for failover, but no death is counted.
 func (c *Coordinator) Deregister(id string) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.nodes[id] == nil {
+	ns := c.nodeShardFor(id)
+	ns.mu.Lock()
+	n := ns.nodes[id]
+	if n == nil {
+		ns.mu.Unlock()
 		return
 	}
-	c.orphanSessionsLocked(id)
-	c.adm.RemoveHost(id)
-	c.det.Remove(id)
-	delete(c.nodes, id)
-	c.updateStateGauges()
-}
-
-// orphanSessionsLocked releases the reservations of every session placed
-// on nodeID and marks them for failover; callers hold mu.
-func (c *Coordinator) orphanSessionsLocked(nodeID string) {
-	for _, s := range c.sessions {
-		if s.nodeID == nodeID {
-			if s.res != nil {
-				s.res.Release()
-				s.res = nil
-			}
-			s.nodeID = ""
-		}
+	orphans := releaseNodeLocked(n)
+	ns.adm.RemoveHost(id)
+	if st, ok := ns.det.Remove(id); ok {
+		c.gaugeFor(st).Add(-1)
 	}
+	delete(ns.nodes, id)
+	ns.mu.Unlock()
+	c.mOpDeregister.Inc()
+	c.detachSessions(orphans)
 }
 
-// Tick advances the failure detector to Now(), applying suspect and death
-// verdicts: dead nodes keep their registry entry (so the death is
-// observable) but lose their host and sessions.
+// Tick advances every shard's failure detector to Now(), applying suspect
+// and death verdicts: dead nodes keep their registry entry (so the death
+// is observable) but lose their host and sessions. Tick also flushes the
+// shards' pending counter commits.
 func (c *Coordinator) Tick() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	for _, tr := range c.det.Tick(c.cfg.Now()) {
-		if tr.To != StateDead {
-			continue
+	now := c.cfg.Now()
+	deaths := 0
+	var orphans []orphanRef
+	for _, ns := range c.nshards {
+		ns.mu.Lock()
+		for _, tr := range ns.det.Tick(now) {
+			c.gaugeFor(tr.From).Add(-1)
+			c.gaugeFor(tr.To).Add(1)
+			if tr.To != StateDead {
+				continue
+			}
+			deaths++
+			if n := ns.nodes[tr.ID]; n != nil {
+				orphans = append(orphans, releaseNodeLocked(n)...)
+			}
+			ns.adm.RemoveHost(tr.ID)
 		}
-		c.mNodeDeaths.Inc()
-		c.orphanSessionsLocked(tr.ID)
-		c.adm.RemoveHost(tr.ID)
+		ns.pendBeats.flush()
+		ns.pendBeatOp.flush()
+		ns.mu.Unlock()
 	}
-	c.updateStateGauges()
+	if deaths > 0 {
+		c.mNodeDeaths.Add(float64(deaths))
+	}
+	c.detachSessions(orphans)
 }
 
 // StartTicker pumps Tick every interval on a background goroutine until
@@ -270,68 +603,67 @@ func (c *Coordinator) StartTicker(interval time.Duration) (stop func()) {
 	return func() { once.Do(func() { close(done) }) }
 }
 
-// Resolve places (or re-places) a session onto an alive node: candidates
-// matching the requested store signature are tried least-reserved-share
-// first, and the first node whose admission control accepts the session's
-// demand wins — all-or-nothing per Section 6.2, so an over-committed node
-// never silently absorbs a session it cannot police. A request for a
-// session the coordinator has already seen counts as a failover.
-func (c *Coordinator) Resolve(req ResolveRequest) (ResolveGrant, error) {
-	if req.SID == "" {
-		return ResolveGrant{}, fmt.Errorf("cluster: resolve needs a session id")
-	}
-	share := req.CPU
-	if share <= 0 {
-		share = DefaultSessionShare
-	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.mResolves.Inc()
+// cand is one placement candidate gathered under a shard read lock.
+type cand struct {
+	id       string
+	shard    int
+	edge     bool
+	reserved float64
+	sessions int
+}
 
-	sess := c.sessions[req.SID]
-	failover := false
-	if sess != nil {
-		failover = sess.placed
-		if sess.res != nil {
-			sess.res.Release()
-			sess.res = nil
+// gatherCandidates collects alive nodes matching the request under shard
+// read locks. With limit > 0 the scan stops once limit candidates are
+// collected, starting from a rotating shard so the sample is not biased
+// toward low shards; complete reports whether every node was considered
+// (always true for clusters that fit inside the limit).
+func (c *Coordinator) gatherCandidates(req *ResolveRequest, excluded map[string]bool, limit int) (cands []cand, complete bool) {
+	n := len(c.nshards)
+	start := int(c.rot.Add(1)) % n
+	complete = true
+	for i := 0; i < n; i++ {
+		si := (start + i) % n
+		ns := c.nshards[si]
+		ns.mu.RLock()
+		for id, nd := range ns.nodes {
+			if st, _ := ns.det.State(id); st != StateAlive {
+				continue
+			}
+			if excluded[id] || (req.Sig != "" && nd.sig != req.Sig) {
+				continue
+			}
+			edge := nd.info.Role == RoleEdge
+			if edge && !req.Coarse {
+				// Fine-level traffic streams through an edge uncached; keep it
+				// off the cache tier entirely.
+				continue
+			}
+			cands = append(cands, cand{
+				id: id, shard: si, edge: edge,
+				reserved: nd.host.Reserved() / nd.info.CPU,
+				sessions: nd.load.ActiveSessions,
+			})
+			if limit > 0 && len(cands) >= limit {
+				complete = false
+				break
+			}
 		}
-		sess.nodeID = ""
-	} else {
-		sess = &session{id: req.SID}
-		c.sessions[req.SID] = sess
+		ns.mu.RUnlock()
+		if limit > 0 && len(cands) >= limit {
+			// Unvisited shards (or the rest of this one) may hold better
+			// candidates; the caller knows the sample is partial.
+			break
+		}
 	}
+	return cands, complete
+}
 
-	excluded := make(map[string]bool, len(req.Exclude))
-	for _, id := range req.Exclude {
-		excluded[id] = true
-	}
-	type cand struct {
-		id       string
-		edge     bool
-		reserved float64
-		sessions int
-	}
-	var cands []cand
-	for id, n := range c.nodes {
-		if st, _ := c.det.State(id); st != StateAlive {
-			continue
-		}
-		if excluded[id] || (req.Sig != "" && n.sig != req.Sig) {
-			continue
-		}
-		edge := n.info.Role == RoleEdge
-		if edge && !req.Coarse {
-			// Fine-level traffic streams through an edge uncached; keep it
-			// off the cache tier entirely.
-			continue
-		}
-		cands = append(cands, cand{id: id, edge: edge, reserved: n.host.Reserved() / n.info.CPU, sessions: n.load.ActiveSessions})
-	}
+// sortCands orders candidates best-first. Coarse sessions prefer any warm
+// edge over any origin; when the edges are excluded (failed) or absent,
+// origins still serve, so a cache-tier outage degrades to direct
+// delivery, never to refusal.
+func sortCands(cands []cand) {
 	sort.Slice(cands, func(i, j int) bool {
-		// Coarse sessions prefer any warm edge over any origin; when the
-		// edges are excluded (failed) or absent, origins still serve, so a
-		// cache-tier outage degrades to direct delivery, never to refusal.
 		if cands[i].edge != cands[j].edge {
 			return cands[i].edge
 		}
@@ -343,82 +675,176 @@ func (c *Coordinator) Resolve(req ResolveRequest) (ResolveGrant, error) {
 		}
 		return cands[i].id < cands[j].id
 	})
-	if len(cands) == 0 {
-		c.mNoCapacity.Inc()
-		c.mSessions.Set(float64(len(c.sessions)))
-		return ResolveGrant{}, fmt.Errorf("cluster: no alive node matches the request")
+}
+
+// tryPlace attempts the admission reservation on one candidate,
+// re-verifying under the node shard's write lock that the node is still
+// present and alive (the candidate was gathered under a read lock that
+// has since been dropped).
+func (c *Coordinator) tryPlace(cd *cand, sid string, want resource.Vector) (ResolveGrant, *scheduler.Reservation, bool) {
+	ns := c.nshards[cd.shard]
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	n := ns.nodes[cd.id]
+	if n == nil {
+		return ResolveGrant{}, nil, false
+	}
+	if st, _ := ns.det.State(cd.id); st != StateAlive {
+		return ResolveGrant{}, nil, false
+	}
+	res, err := ns.adm.ReservePlaced("sess:"+sid, []scheduler.Placement{
+		{Component: "avis", Host: cd.id, Want: want},
+	})
+	if err != nil {
+		return ResolveGrant{}, nil, false
+	}
+	n.resv[sid] = res
+	return ResolveGrant{NodeID: cd.id, Addr: n.info.Addr, Sig: n.sig}, res, true
+}
+
+// releasePlacement drops a session's reservation under its node's shard
+// lock (reservation state lives on the node's host, which that lock
+// owns). The node may already be gone or re-registered; the release is
+// idempotent and stale resv entries are left for the new owner.
+func (c *Coordinator) releasePlacement(nodeID, sid string, res *scheduler.Reservation) {
+	ns := c.nodeShardFor(nodeID)
+	ns.mu.Lock()
+	if n := ns.nodes[nodeID]; n != nil && n.resv[sid] == res {
+		delete(n.resv, sid)
+	}
+	res.Release()
+	ns.mu.Unlock()
+}
+
+// Resolve places (or re-places) a session onto an alive node: candidates
+// matching the requested store signature are tried least-reserved-share
+// first, and the first node whose admission control accepts the session's
+// demand wins — all-or-nothing per Section 6.2, so an over-committed node
+// never silently absorbs a session it cannot police. A request for a
+// session the coordinator has already seen counts as a failover.
+//
+// The session shard's lock is held for the whole placement (serializing
+// same-session resolves); node shards are only touched briefly — shared
+// for the candidate scan, exclusive per admission attempt.
+func (c *Coordinator) Resolve(req ResolveRequest) (ResolveGrant, error) {
+	if req.SID == "" {
+		return ResolveGrant{}, fmt.Errorf("cluster: resolve needs a session id")
+	}
+	share := req.CPU
+	if share <= 0 {
+		share = DefaultSessionShare
+	}
+	start := time.Now()
+	defer func() {
+		c.mPlaceLatency.Observe(time.Since(start).Seconds())
+	}()
+	c.mResolves.Inc()
+	c.mOpResolve.Inc()
+
+	ss := c.sessionShardFor(req.SID)
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	sess := ss.sessions[req.SID]
+	failover := false
+	if sess != nil {
+		failover = sess.placed
+		if sess.res != nil {
+			c.releasePlacement(sess.nodeID, req.SID, sess.res)
+			sess.res = nil
+		}
+		sess.nodeID = ""
+	} else {
+		sess = &session{id: req.SID}
+		ss.sessions[req.SID] = sess
+		c.mSessions.Set(float64(c.nSessions.Add(1)))
+	}
+
+	excluded := make(map[string]bool, len(req.Exclude))
+	for _, id := range req.Exclude {
+		excluded[id] = true
 	}
 	want := resource.Vector{resource.CPU: share}
 	if req.MemBytes > 0 {
 		want[resource.Memory] = float64(req.MemBytes)
 	}
-	for _, cd := range cands {
-		res, err := c.adm.ReservePlaced("sess:"+req.SID, []scheduler.Placement{
-			{Component: "avis", Host: cd.id, Want: want},
-		})
-		if err != nil {
-			continue
+
+	sawAny := false
+	limit := placeSample
+	for {
+		cands, complete := c.gatherCandidates(&req, excluded, limit)
+		sawAny = sawAny || len(cands) > 0
+		sortCands(cands)
+		for i := range cands {
+			grant, res, ok := c.tryPlace(&cands[i], req.SID, want)
+			if !ok {
+				continue
+			}
+			sess.nodeID = grant.NodeID
+			sess.res = res
+			sess.placed = true
+			if failover {
+				c.mFailovers.Inc()
+			}
+			grant.Failover = failover
+			return grant, nil
 		}
-		sess.nodeID = cd.id
-		sess.res = res
-		sess.placed = true
-		if failover {
-			c.mFailovers.Inc()
+		if complete {
+			break
 		}
-		c.mSessions.Set(float64(len(c.sessions)))
-		n := c.nodes[cd.id]
-		return ResolveGrant{NodeID: cd.id, Addr: n.info.Addr, Sig: n.sig, Failover: failover}, nil
+		limit = 0 // sampled scan found nothing admissible: one exhaustive pass
 	}
 	c.mNoCapacity.Inc()
-	c.mSessions.Set(float64(len(c.sessions)))
+	if !sawAny {
+		return ResolveGrant{}, fmt.Errorf("cluster: no alive node matches the request")
+	}
 	return ResolveGrant{}, fmt.Errorf("cluster: no node admits the session demand (cpu %.2f)", share)
 }
 
 // EndSession releases a session's reservation (client hung up cleanly).
 func (c *Coordinator) EndSession(sid string) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if s := c.sessions[sid]; s != nil {
+	ss := c.sessionShardFor(sid)
+	ss.mu.Lock()
+	if s := ss.sessions[sid]; s != nil {
 		if s.res != nil {
-			s.res.Release()
+			c.releasePlacement(s.nodeID, sid, s.res)
 		}
-		delete(c.sessions, sid)
+		delete(ss.sessions, sid)
+		c.mSessions.Set(float64(c.nSessions.Add(-1)))
 	}
-	c.mSessions.Set(float64(len(c.sessions)))
+	ss.mu.Unlock()
+	c.mOpEndSession.Inc()
 }
 
-// Nodes lists the registry, sorted by node ID.
+// Nodes lists the registry, sorted by node ID. Shards are read-locked one
+// at a time, so the listing is per-shard consistent, not a global
+// snapshot — the price of not stopping the world at fleet scale.
 func (c *Coordinator) Nodes() []NodeStatus {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	out := make([]NodeStatus, 0, len(c.nodes))
-	for id, n := range c.nodes {
-		st, _ := c.det.State(id)
-		sessions := 0
-		for _, s := range c.sessions {
-			if s.nodeID == id {
-				sessions++
+	var out []NodeStatus
+	for _, ns := range c.nshards {
+		ns.mu.RLock()
+		for id, n := range ns.nodes {
+			st, _ := ns.det.State(id)
+			reserved := 0.0
+			if st != StateDead {
+				reserved = n.host.Reserved() - (sandbox.MaxReservable - n.info.CPU)
+				if reserved < 0 {
+					reserved = 0
+				}
 			}
+			out = append(out, NodeStatus{
+				ID:          id,
+				Addr:        n.info.Addr,
+				Role:        n.info.Role,
+				State:       st.String(),
+				Sig:         n.sig,
+				Load:        n.load,
+				CPU:         n.info.CPU,
+				ReservedCPU: reserved,
+				Sessions:    len(n.resv),
+				Incarnation: ns.det.Incarnation(id),
+			})
 		}
-		reserved := 0.0
-		if st != StateDead {
-			reserved = n.host.Reserved() - (sandbox.MaxReservable - n.info.CPU)
-			if reserved < 0 {
-				reserved = 0
-			}
-		}
-		out = append(out, NodeStatus{
-			ID:          id,
-			Addr:        n.info.Addr,
-			Role:        n.info.Role,
-			State:       st.String(),
-			Sig:         n.sig,
-			Load:        n.load,
-			CPU:         n.info.CPU,
-			ReservedCPU: reserved,
-			Sessions:    sessions,
-			Incarnation: c.det.Incarnation(id),
-		})
+		ns.mu.RUnlock()
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
@@ -504,6 +930,12 @@ func (c *Coordinator) dispatch(msg []byte) ackMsg {
 			return refuse(err)
 		}
 		return ackMsg{OK: true, Known: c.Heartbeat(hb.ID, hb.Load)}
+	case ctagDelta:
+		ack, err := c.applyDeltaFrame(msg)
+		if err != nil {
+			return refuse(err)
+		}
+		return ack
 	case ctagDeregister:
 		var m nodeIDMsg
 		if err := decodeCtrl(msg, &m); err != nil {

@@ -13,18 +13,36 @@ import (
 // becomes dead, which the coordinator treats as permanent until the node
 // re-registers (rejoin, with a bumped incarnation).
 //
-// The detector is a pure state machine: no goroutines, no locks — the
-// coordinator serializes access under its own mutex.
+// Deadlines are tracked on a hashed timer wheel so Tick touches only the
+// entries whose next possible verdict falls inside the advanced window,
+// instead of scanning every registered node. At 10k nodes with second-scale
+// deadlines and sub-second ticks that is the difference between O(nodes)
+// and O(due) per tick. Each entry is scheduled at the earliest time it
+// could cross its next deadline (last+suspectAfter while alive,
+// last+deadAfter while suspect); a heartbeat re-arms the entry.
+//
+// The detector is a pure state machine: no goroutines, no locks — each
+// coordinator shard serializes access under its own shard lock.
 type Detector struct {
 	suspectAfter time.Duration
 	deadAfter    time.Duration
 	entries      map[string]*detEntry
+
+	// Timer wheel: slot i holds entries whose deadline quantizes (rounded
+	// up) into granule i mod len(slots). wheelTime is the next granule
+	// boundary Tick has not yet processed; entries are always scheduled
+	// at or ahead of it, so a slot visit sees every due entry.
+	gran      time.Duration
+	slots     []map[string]*detEntry
+	wheelTime time.Duration
 }
 
 type detEntry struct {
 	last  time.Duration // timestamp of the most recent heartbeat
 	state NodeState
-	inc   uint64 // incarnation, bumped on each (re-)registration
+	inc   uint64        // incarnation, bumped on each (re-)registration
+	next  time.Duration // scheduled deadline check
+	slot  int           // wheel slot holding the entry; -1 when unscheduled
 }
 
 // Transition is one state change reported by Tick.
@@ -42,10 +60,51 @@ func NewDetector(suspectAfter, deadAfter time.Duration) *Detector {
 	if deadAfter <= suspectAfter {
 		deadAfter = 2 * suspectAfter
 	}
+	// Granule: a quarter of the suspect deadline bounds verdict lateness at
+	// 25% of the tightest threshold; the slot count must cover the longest
+	// reschedule horizon (deadAfter) plus slack so a deadline never wraps
+	// onto a slot the current lap still has to visit.
+	gran := suspectAfter / 4
+	if gran < time.Millisecond {
+		gran = time.Millisecond
+	}
+	// Cap the wheel size: with a tiny suspect deadline under a huge death
+	// deadline, coarsen the granule rather than allocate thousands of slots.
+	const maxSlots = 4096
+	if deadAfter/gran > maxSlots-3 {
+		gran = deadAfter / (maxSlots - 3)
+	}
+	nslots := int(deadAfter/gran) + 3
+	slots := make([]map[string]*detEntry, nslots)
+	for i := range slots {
+		slots[i] = make(map[string]*detEntry)
+	}
 	return &Detector{
 		suspectAfter: suspectAfter,
 		deadAfter:    deadAfter,
 		entries:      make(map[string]*detEntry),
+		gran:         gran,
+		slots:        slots,
+	}
+}
+
+// schedule (re-)arms the entry's deadline check at time at. Slots are
+// assigned by rounding up to the next granule boundary, so when the wheel
+// visits a slot every entry in it with next ≤ now is genuinely due.
+func (d *Detector) schedule(id string, e *detEntry, at time.Duration) {
+	if e.slot >= 0 {
+		delete(d.slots[e.slot], id)
+	}
+	e.next = at
+	s := int((at+d.gran-1)/d.gran) % len(d.slots)
+	e.slot = s
+	d.slots[s][id] = e
+}
+
+func (d *Detector) unschedule(id string, e *detEntry) {
+	if e.slot >= 0 {
+		delete(d.slots[e.slot], id)
+		e.slot = -1
 	}
 }
 
@@ -54,28 +113,32 @@ func NewDetector(suspectAfter, deadAfter time.Duration) *Detector {
 func (d *Detector) Register(id string, now time.Duration) uint64 {
 	e := d.entries[id]
 	if e == nil {
-		e = &detEntry{}
+		e = &detEntry{slot: -1}
 		d.entries[id] = e
 	}
 	e.last = now
 	e.state = StateAlive
 	e.inc++
+	d.schedule(id, e, now+d.suspectAfter)
 	return e.inc
 }
 
 // Observe records a heartbeat at time now. It returns the gap since the
-// previous observation and whether the heartbeat was accepted: heartbeats
-// from unknown or dead nodes are refused (ok=false), telling the agent to
-// re-register. A heartbeat from a suspect node revives it to alive.
-func (d *Detector) Observe(id string, now time.Duration) (gap time.Duration, ok bool) {
+// previous observation, the state the node held before the beat, and
+// whether the heartbeat was accepted: heartbeats from unknown or dead
+// nodes are refused (ok=false), telling the agent to re-register. A
+// heartbeat from a suspect node revives it to alive.
+func (d *Detector) Observe(id string, now time.Duration) (gap time.Duration, prev NodeState, ok bool) {
 	e := d.entries[id]
 	if e == nil || e.state == StateDead {
-		return 0, false
+		return 0, StateDead, false
 	}
 	gap = now - e.last
+	prev = e.state
 	e.last = now
 	e.state = StateAlive
-	return gap, true
+	d.schedule(id, e, now+d.suspectAfter)
+	return gap, prev, true
 }
 
 // Tick advances the detector to time now, returning the transitions that
@@ -83,7 +146,31 @@ func (d *Detector) Observe(id string, now time.Duration) (gap time.Duration, ok 
 // unspecified; callers must not depend on it.
 func (d *Detector) Tick(now time.Duration) []Transition {
 	var out []Transition
-	for id, e := range d.entries {
+	n := len(d.slots)
+	if now >= d.wheelTime && int((now-d.wheelTime)/d.gran)+1 >= n {
+		// The clock jumped a full lap or more (a wedged coordinator, or a
+		// test skipping far ahead): every slot may hold due entries.
+		for s := 0; s < n; s++ {
+			out = d.sweep(s, now, out)
+		}
+		d.wheelTime = (now/d.gran + 1) * d.gran
+		return out
+	}
+	for d.wheelTime <= now {
+		out = d.sweep(int(d.wheelTime/d.gran)%n, now, out)
+		d.wheelTime += d.gran
+	}
+	return out
+}
+
+// sweep applies verdicts to the due entries of one slot. Entries scheduled
+// for a later lap (next > now) stay put; live entries are re-armed at the
+// earliest time they could cross their next deadline.
+func (d *Detector) sweep(slot int, now time.Duration, out []Transition) []Transition {
+	for id, e := range d.slots[slot] {
+		if e.next > now {
+			continue // a future lap of the wheel
+		}
 		age := now - e.last
 		var next NodeState
 		switch {
@@ -99,6 +186,15 @@ func (d *Detector) Tick(now time.Duration) []Transition {
 		if next > e.state {
 			out = append(out, Transition{ID: id, From: e.state, To: next})
 			e.state = next
+		}
+		if e.state == StateDead {
+			d.unschedule(id, e)
+			continue
+		}
+		if e.state == StateAlive {
+			d.schedule(id, e, e.last+d.suspectAfter)
+		} else {
+			d.schedule(id, e, e.last+d.deadAfter)
 		}
 	}
 	return out
@@ -121,5 +217,14 @@ func (d *Detector) Incarnation(id string) uint64 {
 	return 0
 }
 
-// Remove forgets a node (clean deregistration).
-func (d *Detector) Remove(id string) { delete(d.entries, id) }
+// Remove forgets a node (clean deregistration), reporting the state it
+// held so callers can settle per-state accounting.
+func (d *Detector) Remove(id string) (NodeState, bool) {
+	e := d.entries[id]
+	if e == nil {
+		return 0, false
+	}
+	d.unschedule(id, e)
+	delete(d.entries, id)
+	return e.state, true
+}

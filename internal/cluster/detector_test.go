@@ -22,8 +22,8 @@ func TestDetectorLifecycle(t *testing.T) {
 	// Regular heartbeats keep it alive.
 	for i := 0; i < 5; i++ {
 		now += 50 * time.Millisecond
-		if gap, ok := d.Observe("n1", now); !ok || gap != 50*time.Millisecond {
-			t.Fatalf("beat %d: gap %v ok %v", i, gap, ok)
+		if gap, prev, ok := d.Observe("n1", now); !ok || gap != 50*time.Millisecond || prev != StateAlive {
+			t.Fatalf("beat %d: gap %v prev %v ok %v", i, gap, prev, ok)
 		}
 		if trs := d.Tick(now); len(trs) != 0 {
 			t.Fatalf("spurious transitions %v", trs)
@@ -40,9 +40,10 @@ func TestDetectorLifecycle(t *testing.T) {
 		t.Fatalf("state %v", st)
 	}
 
-	// A heartbeat revives a suspect.
-	if _, ok := d.Observe("n1", now); !ok {
-		t.Fatal("suspect refused a heartbeat")
+	// A heartbeat revives a suspect (and reports the pre-beat state so the
+	// coordinator can settle its per-state gauges incrementally).
+	if _, prev, ok := d.Observe("n1", now); !ok || prev != StateSuspect {
+		t.Fatalf("suspect heartbeat: prev %v ok %v", prev, ok)
 	}
 	if st, _ := d.State("n1"); st != StateAlive {
 		t.Fatal("heartbeat did not revive suspect")
@@ -58,7 +59,7 @@ func TestDetectorLifecycle(t *testing.T) {
 	}
 
 	// Dead nodes refuse heartbeats — only re-registration resurrects.
-	if _, ok := d.Observe("n1", now); ok {
+	if _, _, ok := d.Observe("n1", now); ok {
 		t.Fatal("dead node accepted a heartbeat")
 	}
 	if st, _ := d.State("n1"); st != StateDead {
@@ -101,7 +102,7 @@ func TestDetectorTickNeverRevives(t *testing.T) {
 
 func TestDetectorUnknownAndRemove(t *testing.T) {
 	d := NewDetector(0, 0) // defaults kick in
-	if _, ok := d.Observe("ghost", 0); ok {
+	if _, _, ok := d.Observe("ghost", 0); ok {
 		t.Fatal("unknown node accepted")
 	}
 	if _, ok := d.State("ghost"); ok {

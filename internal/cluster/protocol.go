@@ -20,6 +20,7 @@ import (
 const (
 	ctagRegister   = 'g' // agent → coord: NodeInfo
 	ctagHeartbeat  = 'b' // agent → coord: heartbeatMsg
+	ctagDelta      = 'D' // agent → coord: binary delta batch (see delta.go)
 	ctagDeregister = 'd' // agent → coord: nodeIDMsg (clean leave)
 	ctagResolve    = 'v' // client → coord: ResolveRequest
 	ctagEndSession = 'e' // client → coord: sessionMsg
@@ -72,6 +73,9 @@ type ackMsg struct {
 	Known bool         `json:"known,omitempty"` // heartbeat: node is registered and not dead
 	Grant ResolveGrant `json:"grant,omitempty"`
 	Nodes []NodeStatus `json:"nodes,omitempty"`
+	// Unknown echoes the delta-batch entries the coordinator refused
+	// (unknown or dead nodes); the agent re-registers them.
+	Unknown []string `json:"unknown,omitempty"`
 }
 
 // encodeCtrl renders tag + JSON body. Marshalling these closed types
@@ -155,17 +159,27 @@ func (c *ctrlConn) close() {
 // layer (or a test) can interpose on every control-plane connection.
 type DialFunc func(network, addr string, timeout time.Duration) (net.Conn, error)
 
-// client is the shared retry loop under Agent and Resolver: one persistent
-// connection, re-established with jittered exponential backoff under a
-// retry budget when calls fail in transport. Application-level refusals
-// (the coordinator answered, but said no) are never retried — a
-// replacement attempt would be refused identically.
+// maxIdleCtrl bounds how many idle control connections a client keeps
+// pooled between calls.
+const maxIdleCtrl = 8
+
+// client is the shared retry loop under Agent and Resolver: a bounded
+// pool of persistent connections, re-established with jittered
+// exponential backoff under a retry budget when calls fail in transport.
+// Application-level refusals (the coordinator answered, but said no) are
+// never retried — a replacement attempt would be refused identically.
+//
+// mu guards only the pool and the policy fields, never a network round
+// trip: concurrent callers check out separate connections (dialing fresh
+// ones past the idle pool) and run their calls in parallel, so one slow
+// control call no longer serializes every other caller of the same stub.
 type client struct {
 	addr    string
 	timeout time.Duration
 
 	mu       sync.Mutex
-	cc       *ctrlConn
+	idle     []*ctrlConn
+	closed   bool
 	dial     DialFunc
 	attempts int // per-call cap, including the first try
 	backoff  Backoff
@@ -204,11 +218,21 @@ func (c *client) setDialer(dial DialFunc) {
 	c.dial = dial
 }
 
-func (c *client) dialCtrl() (*ctrlConn, error) {
-	if c.dial == nil {
+// acquire checks a connection out of the idle pool, dialing a fresh one
+// when the pool is empty. The dial runs outside mu.
+func (c *client) acquire(dial DialFunc) (*ctrlConn, error) {
+	c.mu.Lock()
+	if n := len(c.idle); n > 0 {
+		cc := c.idle[n-1]
+		c.idle = c.idle[:n-1]
+		c.mu.Unlock()
+		return cc, nil
+	}
+	c.mu.Unlock()
+	if dial == nil {
 		return dialCtrl(c.addr, c.timeout)
 	}
-	conn, err := c.dial("tcp", c.addr, c.timeout)
+	conn, err := dial("tcp", c.addr, c.timeout)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: dial coordinator %s: %w", c.addr, err)
 	}
@@ -220,60 +244,64 @@ func (c *client) dialCtrl() (*ctrlConn, error) {
 	}, nil
 }
 
-// retryAfter decides whether attempt+1 may run, spending budget and
-// sleeping the backoff delay if so. Each attempt already carries its own
-// deadline (the dial timeout plus the per-frame progress deadline), so the
-// whole call is bounded by attempts·(timeout+backoff).
-func (c *client) retryAfter(attempt int) bool {
-	if attempt+1 >= c.attempts {
-		return false
+// release returns a healthy connection to the pool (or closes it when the
+// pool is full or the client is closed).
+func (c *client) release(cc *ctrlConn) {
+	c.mu.Lock()
+	if !c.closed && len(c.idle) < maxIdleCtrl {
+		c.idle = append(c.idle, cc)
+		c.mu.Unlock()
+		return
 	}
-	if !c.budget.Allow() {
-		return false
-	}
-	c.mRetries.Inc()
-	time.Sleep(c.backoff.Delay(attempt))
-	return true
+	c.mu.Unlock()
+	cc.close()
 }
 
-// call issues one request, retrying transport failures (broken cached
+// call issues one request, retrying transport failures (broken pooled
 // connections, failed dials, timed-out frames) under the retry policy.
+// Each attempt already carries its own deadline (the dial timeout plus
+// the per-frame progress deadline), so the whole call is bounded by
+// attempts·(timeout+backoff).
 func (c *client) call(req []byte) (ackMsg, error) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	attempts, backoff, budget := c.attempts, c.backoff, c.budget
+	retries, dial := c.mRetries, c.dial
+	c.mu.Unlock()
 	var lastErr error
 	for attempt := 0; ; attempt++ {
-		if c.cc == nil {
-			cc, err := c.dialCtrl()
-			if err != nil {
-				lastErr = err
-				if !c.retryAfter(attempt) {
-					return ackMsg{}, lastErr
-				}
-				continue
-			}
-			c.cc = cc
-		}
-		ack, err := c.cc.call(req, c.timeout)
+		cc, err := c.acquire(dial)
 		if err == nil {
-			return ack, nil
+			var ack ackMsg
+			ack, err = cc.call(req, c.timeout)
+			if err == nil {
+				c.release(cc)
+				return ack, nil
+			}
+			if ack.Err != "" {
+				// The coordinator refused; the connection is fine.
+				c.release(cc)
+				return ack, err
+			}
+			cc.close()
 		}
-		if ack.Err != "" {
-			// The coordinator refused; the connection is fine.
-			return ack, err
-		}
-		c.cc.close()
-		c.cc = nil
 		lastErr = err
-		if !c.retryAfter(attempt) {
+		if attempt+1 >= attempts {
 			return ackMsg{}, lastErr
 		}
+		if !budget.Allow() {
+			return ackMsg{}, lastErr
+		}
+		retries.Inc()
+		time.Sleep(backoff.Delay(attempt))
 	}
 }
 
 func (c *client) close() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.cc.close()
-	c.cc = nil
+	c.closed = true
+	for _, cc := range c.idle {
+		cc.close()
+	}
+	c.idle = nil
 }

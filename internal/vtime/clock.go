@@ -1,6 +1,10 @@
 package vtime
 
-import "time"
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
 
 // Clock abstracts the passage of time so components (monitors, shapers,
 // transports) can run identically on the simulation kernel and on the real
@@ -39,7 +43,52 @@ func (c ProcClock) Now() time.Duration { return c.P.Now() }
 // Sleep suspends the process for d of virtual time.
 func (c ProcClock) Sleep(d time.Duration) { c.P.Sleep(d) }
 
+// SharedClock is a manually-advanced virtual clock safe for concurrent
+// use: any number of goroutines may read Now while a driver advances it.
+// Unlike the simulation kernel (one runnable process at a time), a
+// SharedClock lets truly parallel workers share one virtual timeline —
+// the timebase cmd/avis-load drives its session swarm on. The zero value
+// is ready at epoch 0.
+type SharedClock struct {
+	now atomic.Int64 // nanoseconds since epoch
+
+	mu      sync.Mutex
+	sleeper *sync.Cond
+}
+
+// Now reports the current virtual time.
+func (c *SharedClock) Now() time.Duration { return time.Duration(c.now.Load()) }
+
+// Advance moves the clock forward by d (never backward; d ≤ 0 is a no-op)
+// and wakes sleepers whose deadline has passed.
+func (c *SharedClock) Advance(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	c.now.Add(int64(d))
+	c.mu.Lock()
+	if c.sleeper != nil {
+		c.sleeper.Broadcast()
+	}
+	c.mu.Unlock()
+}
+
+// Sleep suspends the caller until another goroutine advances the clock
+// past now+d.
+func (c *SharedClock) Sleep(d time.Duration) {
+	deadline := c.Now() + d
+	c.mu.Lock()
+	if c.sleeper == nil {
+		c.sleeper = sync.NewCond(&c.mu)
+	}
+	for c.Now() < deadline {
+		c.sleeper.Wait()
+	}
+	c.mu.Unlock()
+}
+
 var (
 	_ Clock = (*RealClock)(nil)
 	_ Clock = ProcClock{}
+	_ Clock = (*SharedClock)(nil)
 )

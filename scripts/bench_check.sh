@@ -3,8 +3,11 @@
 # regression: re-run each committed benchmark suite and compare ns/op
 # against its baseline JSON. Any benchmark more than BENCH_TOLERANCE
 # (default 0.20 = 20%) slower than its baseline fails the check with a
-# nonzero exit. Two suites are gated: the data-plane kernels
-# (BENCH_kernels.json) and the edge cache tier (BENCH_edge.json).
+# nonzero exit. Three suites are gated: the data-plane kernels
+# (BENCH_kernels.json), the edge cache tier (BENCH_edge.json), and the
+# control plane (BENCH_control.json — heartbeat dispatch, placement, and
+# the counter-commit harness; its trailing "swarm" block is informational
+# and ignored here).
 #
 #   scripts/bench_check.sh                        # compare at +20%
 #   BENCH_TOLERANCE=0.60 scripts/bench_check.sh   # looser, for noisy CI
@@ -62,3 +65,4 @@ check_one BENCH_kernels.json \
 	'BenchmarkLZWEncode|BenchmarkLZWDecode|BenchmarkBZWEncode|BenchmarkBZWDecode|BenchmarkChunkExtract|BenchmarkHaarDecompose' \
 	.
 check_one BENCH_edge.json 'BenchmarkEdge' ./internal/edge
+check_one BENCH_control.json 'BenchmarkControl|BenchmarkCounter' ./internal/cluster

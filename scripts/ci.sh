@@ -21,6 +21,14 @@ make lint
 echo "== go test -race ./internal/cluster ./internal/avis ./internal/edge (quick gate)"
 go test -race -timeout 5m ./internal/cluster ./internal/avis ./internal/edge
 
+# Swarm smoke: a small avis-load run (1k virtual-time sessions, with a
+# mid-run kill and failover re-placement) end-to-ends the sharded
+# registry, delta batching, death detection, and drain accounting in a
+# couple of seconds. The driver exits nonzero on any missed or spurious
+# death or an unfinished session.
+echo "== avis-load smoke (1k virtual sessions)"
+go run ./cmd/avis-load -nodes 200 -sessions 1000 -ramp 10s -hold 15s -step 100ms -kill 0.1
+
 # The race detector slows the channel-heavy virtual-time experiments well
 # past the default 10m per-package test timeout, so raise it; wall-clock
 # cost is still dominated by internal/expt (skippable with -short).
