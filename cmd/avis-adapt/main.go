@@ -5,11 +5,21 @@
 // resource change, alongside the two non-adaptive baselines the paper
 // plots.
 //
+// The drift experiment closes the adaptation loop on live telemetry: the
+// same run is driven twice through a mid-run bandwidth dip the offline
+// database was never profiled for — once reading the stale database only
+// (it stays stuck), once with achieved image metrics folding back into a
+// live performance store (it re-converges under the deadline). With
+// -perfstore-dir the online run's refined model persists to a write-ahead
+// log and survives the process.
+//
 // Usage:
 //
-//	avis-adapt -exp 1     # codec adaptation to a bandwidth drop
-//	avis-adapt -exp 2     # resolution adaptation to a CPU drop
-//	avis-adapt -exp 3     # fovea adaptation to a CPU drop
+//	avis-adapt -exp 1      # codec adaptation to a bandwidth drop
+//	avis-adapt -exp 2      # resolution adaptation to a CPU drop
+//	avis-adapt -exp 3      # fovea adaptation to a CPU drop
+//	avis-adapt -exp drift  # online store vs stale offline database
+//	avis-adapt -exp drift -seed 7 -perfstore-dir /tmp/perfwal
 //	avis-adapt -exp all
 package main
 
@@ -20,11 +30,14 @@ import (
 	"os"
 
 	"tunable/internal/expt"
+	"tunable/internal/perfstore"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: 1, 2, 3, or all")
+	exp := flag.String("exp", "all", "experiment to run: 1, 2, 3, drift, or all")
 	events := flag.Bool("events", false, "print the framework's decision log")
+	seed := flag.Uint64("seed", 42, "fault-schedule seed for the drift experiment")
+	perfDir := flag.String("perfstore-dir", "", "persist the drift experiment's online store to a write-ahead log in this directory")
 	flag.Parse()
 
 	run := func(id string, f func() (*expt.ExperimentResult, error)) {
@@ -51,6 +64,34 @@ func main() {
 			fmt.Println()
 		}
 	}
+	runDrift := func() {
+		backend := perfstore.Store(perfstore.NewMemStore())
+		if *perfDir != "" {
+			wal, err := perfstore.OpenWAL(*perfDir, perfstore.WALOptions{})
+			if err != nil {
+				log.Fatalf("avis-adapt: perfstore: %v", err)
+			}
+			backend = wal
+		}
+		fig, offline, online, err := expt.DriftWith(*seed, backend)
+		if err != nil {
+			log.Fatalf("avis-adapt: drift: %v", err)
+		}
+		if err := fig.Render(os.Stdout); err != nil {
+			log.Fatalf("avis-adapt: %v", err)
+		}
+		offHits, offPost := expt.DeadlineHits(offline)
+		onHits, onPost := expt.DeadlineHits(online)
+		fmt.Printf("summary drift: offline %.2fs (%d switches, final %s, %d/%d in deadline) | online %.2fs (%d switches, final %s, %d/%d in deadline)\n\n",
+			offline.Total.Seconds(), offline.Switches, offline.Final.Key(), offHits, offPost,
+			online.Total.Seconds(), online.Switches, online.Final.Key(), onHits, onPost)
+		if *events {
+			for _, ev := range online.Events {
+				fmt.Printf("  %-12v %-12s %s\n", ev.At, ev.Kind, ev.Detail)
+			}
+			fmt.Println()
+		}
+	}
 	switch *exp {
 	case "1":
 		run("1", expt.Experiment1)
@@ -58,10 +99,13 @@ func main() {
 		run("2", expt.Experiment2)
 	case "3":
 		run("3", expt.Experiment3)
+	case "drift":
+		runDrift()
 	case "all":
 		run("1", expt.Experiment1)
 		run("2", expt.Experiment2)
 		run("3", expt.Experiment3)
+		runDrift()
 	default:
 		log.Fatalf("avis-adapt: unknown experiment %q", *exp)
 	}

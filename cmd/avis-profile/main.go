@@ -3,10 +3,17 @@
 // virtual testbed, exactly as the paper's driver program does (Section 5),
 // and writes the result as JSON.
 //
+// With -merge the sweep is additionally folded into a persisted live
+// performance store (the write-ahead log a coordinator hosts): existing
+// refined records are weight-averaged with the sweep's, new lattice
+// points are added, so a re-profiled testbed updates a deployed store
+// without discarding what live telemetry already taught it.
+//
 // Usage:
 //
 //	avis-profile -out perf.json -figure all
 //	avis-profile -out fig6a.json -figure 6a -refine 0.5
+//	avis-profile -figure 6b -merge /var/lib/avis/perfwal
 package main
 
 import (
@@ -17,6 +24,7 @@ import (
 
 	"tunable/internal/expt"
 	"tunable/internal/perfdb"
+	"tunable/internal/perfstore"
 	"tunable/internal/profiler"
 	"tunable/internal/resource"
 )
@@ -25,6 +33,7 @@ func main() {
 	out := flag.String("out", "perf.json", "output database path")
 	figure := flag.String("figure", "all", "which profile to build: 5, 6a, 6b, or all")
 	refine := flag.Float64("refine", 0, "sensitivity threshold for refinement sampling (0 disables)")
+	merge := flag.String("merge", "", "also fold the sweep into the persisted performance store (WAL directory) at this path")
 	flag.Parse()
 
 	var dbs []*perfdb.DB
@@ -86,4 +95,19 @@ func main() {
 		log.Fatalf("avis-profile: save: %v", err)
 	}
 	fmt.Printf("wrote %d records to %s\n", merged.Len(), *out)
+	if *merge != "" {
+		wal, err := perfstore.OpenWAL(*merge, perfstore.WALOptions{})
+		if err != nil {
+			log.Fatalf("avis-profile: merge: %v", err)
+		}
+		stats, err := perfstore.MergeSweep(wal, merged)
+		if err != nil {
+			log.Fatalf("avis-profile: merge: %v", err)
+		}
+		if err := wal.Close(); err != nil {
+			log.Fatalf("avis-profile: merge: %v", err)
+		}
+		fmt.Printf("merged sweep into %s: %d configurations, %d records refined, %d added\n",
+			*merge, stats.Configs, stats.Merged, stats.Added)
+	}
 }

@@ -12,6 +12,7 @@ import (
 
 	"tunable/internal/avis"
 	"tunable/internal/metrics"
+	"tunable/internal/perfstore"
 	"tunable/internal/resource"
 	"tunable/internal/sandbox"
 	"tunable/internal/scheduler"
@@ -154,6 +155,11 @@ type Coordinator struct {
 	listeners []net.Listener
 	closed    bool
 	wg        sync.WaitGroup
+
+	// perfMu guards perf, the optional shared performance store nodes feed
+	// telemetry into and clients fetch refined profiles from.
+	perfMu sync.RWMutex
+	perf   *perfstore.PerfStore
 
 	// telemetry instruments; nil (no-op) unless EnableMetrics ran
 	mNodesAlive    *metrics.Gauge
@@ -850,6 +856,62 @@ func (c *Coordinator) Nodes() []NodeStatus {
 	return out
 }
 
+// SetPerfStore installs the shared live performance store: nodes push
+// telemetry samples over the control plane, the coordinator folds them
+// into refined per-configuration profiles, and clients fetch those
+// overlays to correct their local models. Nil uninstalls (perf requests
+// are refused). The coordinator owns folding but not the store's
+// lifetime — the caller closes it after Shutdown.
+func (c *Coordinator) SetPerfStore(ps *perfstore.PerfStore) {
+	c.perfMu.Lock()
+	c.perf = ps
+	c.perfMu.Unlock()
+}
+
+// PerfStore returns the installed shared performance store (nil if none).
+func (c *Coordinator) PerfStore() *perfstore.PerfStore {
+	c.perfMu.RLock()
+	defer c.perfMu.RUnlock()
+	return c.perf
+}
+
+// IngestSamples feeds a batch of wire-format telemetry samples into the
+// shared performance store, returning how many parsed and were queued.
+// Samples that fail to parse (unknown configuration, bad metric names)
+// are skipped, not fatal: one misbehaving node must not poison a batch.
+func (c *Coordinator) IngestSamples(samples []perfstore.WireSample) (int, error) {
+	ps := c.PerfStore()
+	if ps == nil {
+		return 0, fmt.Errorf("no performance store installed")
+	}
+	n := 0
+	for i := range samples {
+		s, err := perfstore.FromWire(ps.App(), samples[i])
+		if err != nil {
+			continue
+		}
+		ps.Offer(s)
+		n++
+	}
+	return n, nil
+}
+
+// PerfProfile returns the refined overlay for a configuration key from
+// the shared performance store. Pending samples are flushed first so a
+// fetch right after an ingest observes its own writes.
+func (c *Coordinator) PerfProfile(configKey string) (*perfstore.Profile, error) {
+	ps := c.PerfStore()
+	if ps == nil {
+		return nil, fmt.Errorf("no performance store installed")
+	}
+	ps.Flush()
+	p, err := ps.Store().Load(configKey)
+	if err == perfstore.ErrNotFound {
+		return nil, fmt.Errorf("no refined profile for %q", configKey)
+	}
+	return p, err
+}
+
 // Serve accepts control connections until the listener closes, handling
 // each in its own goroutine. After Shutdown it returns net.ErrClosed.
 func (c *Coordinator) Serve(l net.Listener) error {
@@ -962,6 +1024,26 @@ func (c *Coordinator) dispatch(msg []byte) ackMsg {
 		return ackMsg{OK: true}
 	case ctagNodes:
 		return ackMsg{OK: true, Nodes: c.Nodes()}
+	case ctagPerfIngest:
+		var m perfIngestMsg
+		if err := decodeCtrl(msg, &m); err != nil {
+			return refuse(err)
+		}
+		n, err := c.IngestSamples(m.Samples)
+		if err != nil {
+			return refuse(err)
+		}
+		return ackMsg{OK: true, Accepted: n}
+	case ctagPerfProfile:
+		var m perfProfileMsg
+		if err := decodeCtrl(msg, &m); err != nil {
+			return refuse(err)
+		}
+		p, err := c.PerfProfile(m.ConfigKey)
+		if err != nil {
+			return refuse(err)
+		}
+		return ackMsg{OK: true, Profile: p}
 	default:
 		return refuse(fmt.Errorf("unknown control tag %q", msg[0]))
 	}

@@ -10,6 +10,7 @@ import (
 
 	"tunable/internal/avis"
 	"tunable/internal/metrics"
+	"tunable/internal/perfstore"
 )
 
 // Control-plane wire protocol: each message is one avis frame whose first
@@ -22,10 +23,12 @@ const (
 	ctagHeartbeat  = 'b' // agent → coord: heartbeatMsg
 	ctagDelta      = 'D' // agent → coord: binary delta batch (see delta.go)
 	ctagDeregister = 'd' // agent → coord: nodeIDMsg (clean leave)
-	ctagResolve    = 'v' // client → coord: ResolveRequest
-	ctagEndSession = 'e' // client → coord: sessionMsg
-	ctagNodes      = 'n' // anyone → coord: registry listing
-	ctagAck        = 'a' // coord → caller: ackMsg
+	ctagResolve     = 'v' // client → coord: ResolveRequest
+	ctagEndSession  = 'e' // client → coord: sessionMsg
+	ctagNodes       = 'n' // anyone → coord: registry listing
+	ctagPerfIngest  = 'p' // agent/server → coord: perfIngestMsg (telemetry samples)
+	ctagPerfProfile = 'q' // anyone → coord: perfProfileMsg (refined profile fetch)
+	ctagAck         = 'a' // coord → caller: ackMsg
 )
 
 type heartbeatMsg struct {
@@ -39,6 +42,17 @@ type nodeIDMsg struct {
 
 type sessionMsg struct {
 	SID string `json:"sid"`
+}
+
+// perfIngestMsg carries a batch of live telemetry samples from a node to
+// the coordinator's shared performance store.
+type perfIngestMsg struct {
+	Samples []perfstore.WireSample `json:"samples"`
+}
+
+// perfProfileMsg asks for the refined overlay of one configuration.
+type perfProfileMsg struct {
+	ConfigKey string `json:"config"`
 }
 
 // ResolveRequest asks the coordinator to place (or re-place) a session.
@@ -76,6 +90,11 @@ type ackMsg struct {
 	// Unknown echoes the delta-batch entries the coordinator refused
 	// (unknown or dead nodes); the agent re-registers them.
 	Unknown []string `json:"unknown,omitempty"`
+	// Accepted is how many samples of a perf-ingest batch parsed and were
+	// queued (the outlier filter runs later, at fold time).
+	Accepted int `json:"accepted,omitempty"`
+	// Profile is the refined overlay answering a perf-profile fetch.
+	Profile *perfstore.Profile `json:"profile,omitempty"`
 }
 
 // encodeCtrl renders tag + JSON body. Marshalling these closed types

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"tunable/internal/metrics"
+	"tunable/internal/perfstore"
 )
 
 // Resolver is the client-side stub of the coordinator: it turns a session
@@ -52,6 +53,26 @@ func (r *Resolver) Resolve(req ResolveRequest) (ResolveGrant, error) {
 func (r *Resolver) EndSession(sid string) error {
 	_, err := r.cl.call(encodeCtrl(ctagEndSession, sessionMsg{SID: sid}))
 	return err
+}
+
+// PublishSamples pushes telemetry samples into the coordinator's shared
+// performance store, returning how many were accepted for ingest.
+func (r *Resolver) PublishSamples(samples []perfstore.WireSample) (int, error) {
+	ack, err := r.cl.call(encodeCtrl(ctagPerfIngest, perfIngestMsg{Samples: samples}))
+	if err != nil {
+		return 0, err
+	}
+	return ack.Accepted, nil
+}
+
+// FetchProfile retrieves the refined overlay for a configuration key from
+// the coordinator's shared performance store.
+func (r *Resolver) FetchProfile(configKey string) (*perfstore.Profile, error) {
+	ack, err := r.cl.call(encodeCtrl(ctagPerfProfile, perfProfileMsg{ConfigKey: configKey}))
+	if err != nil {
+		return nil, err
+	}
+	return ack.Profile, nil
 }
 
 // Nodes fetches the coordinator's registry view.

@@ -27,8 +27,11 @@ type Components map[resource.Kind]string
 
 // Config configures a Framework.
 type Config struct {
-	App         *spec.App
-	DB          *perfdb.DB
+	App *spec.App
+	// DB is the performance model the scheduler consults: the offline
+	// profiled database, or a live perfstore refining on telemetry — the
+	// control loop is identical over either.
+	DB          perfdb.Model
 	Preferences []scheduler.Preference
 	Monitor     *monitor.Agent
 	Steering    *steering.Agent

@@ -27,7 +27,9 @@ import (
 
 	"tunable/internal/avis"
 	"tunable/internal/core"
+	"tunable/internal/faults"
 	"tunable/internal/monitor"
+	"tunable/internal/netem"
 	"tunable/internal/perfdb"
 	"tunable/internal/profiler"
 	"tunable/internal/resource"
@@ -266,6 +268,36 @@ func runStatic(label string, base avis.WorldConfig, n int, perturb func(*avis.Wo
 	return res, nil
 }
 
+// adaptCfg carries the optional knobs of an adaptive run.
+type adaptCfg struct {
+	// onStat receives every completed image download together with the
+	// monitor's resource snapshot and the configuration it ran under —
+	// the live-telemetry ingest point (perfstore.Offer hangs off it).
+	onStat func(stat avis.ImageStat, res resource.Vector, cfg spec.Config)
+	// faultSched, when non-nil, is installed on the world's data link
+	// through the seeded fault driver before the run starts.
+	faultSched *faults.Schedule
+	// modelTrigger, when non-nil, is bound (once monitor and steering
+	// exist) to a function that raises a synthetic monitoring trigger if
+	// the named configuration is the active one — the model-drift path:
+	// a refined profile invalidating the current choice must wake the
+	// scheduler just as an out-of-range resource estimate does.
+	modelTrigger *func(configKey string)
+}
+
+// adaptOpt customizes runAdaptiveOpts.
+type adaptOpt func(*adaptCfg)
+
+// withOnStat registers the per-image telemetry hook.
+func withOnStat(fn func(avis.ImageStat, resource.Vector, spec.Config)) adaptOpt {
+	return func(c *adaptCfg) { c.onStat = fn }
+}
+
+// withFaultSchedule arms a seeded fault schedule on the data link.
+func withFaultSchedule(s faults.Schedule) adaptOpt {
+	return func(c *adaptCfg) { c.faultSched = &s }
+}
+
 // runAdaptive executes n image downloads under the full adaptation
 // framework: monitoring agent (CPU probe on the client sandbox, bandwidth
 // probe on the server's sending side), resource scheduler over db with the
@@ -279,10 +311,16 @@ func runAdaptive(label string, db *perfdb.DB, prefs []scheduler.Preference,
 // deployment: a separate agent in the server instance observes the
 // network and pushes its estimates to the client's agent, as the paper's
 // inter-monitor communication does, instead of one agent probing both
-// components directly.
-func runAdaptiveOpts(label string, db *perfdb.DB, prefs []scheduler.Preference,
+// components directly. db is any perfdb.Model — the offline database or a
+// live perfstore.
+func runAdaptiveOpts(label string, db perfdb.Model, prefs []scheduler.Preference,
 	base avis.WorldConfig, n int, initRes resource.Vector, perturb func(*avis.World),
-	distributed bool) (RunResult, error) {
+	distributed bool, opts ...adaptOpt) (RunResult, error) {
+
+	var ac adaptCfg
+	for _, o := range opts {
+		o(&ac)
+	}
 
 	app := db.App()
 	// Provisional scheduler pass to learn the initial configuration the
@@ -330,6 +368,19 @@ func runAdaptiveOpts(label string, db *perfdb.DB, prefs []scheduler.Preference,
 		return RunResult{}, err
 	}
 	w.Client.AttachSteering(steer)
+	if ac.modelTrigger != nil {
+		sim := w.Sim
+		*ac.modelTrigger = func(configKey string) {
+			if steer.Current().Key() != configKey {
+				return
+			}
+			mon.Triggers().TrySend(monitor.Trigger{
+				At:        sim.Now(),
+				Component: "model",
+				Kind:      resource.Kind("drift"),
+			})
+		}
+	}
 	fw, err := core.New(w.Sim, core.Config{
 		App:          app,
 		DB:           db,
@@ -347,6 +398,13 @@ func runAdaptiveOpts(label string, db *perfdb.DB, prefs []scheduler.Preference,
 	}
 	if perturb != nil {
 		perturb(w)
+	}
+	if ac.faultSched != nil {
+		drv, err := faults.NewDriver(w.Sim, map[string]*netem.Link{"data:avis": w.Link}, *ac.faultSched)
+		if err != nil {
+			return RunResult{}, err
+		}
+		drv.Install()
 	}
 	fw.Start()
 	mon.Start()
@@ -373,6 +431,9 @@ func runAdaptiveOpts(label string, db *perfdb.DB, prefs []scheduler.Preference,
 				return
 			}
 			stats = append(stats, st)
+			if ac.onStat != nil {
+				ac.onStat(st, mon.Snapshot(), steer.Current())
+			}
 		}
 		w.Client.Close(p)
 	})

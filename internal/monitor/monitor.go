@@ -123,6 +123,7 @@ type Agent struct {
 
 	stop    *vtime.Event
 	samples int64
+	onRound func(now time.Duration, est resource.Vector)
 
 	// telemetry instruments; nil (no-op) unless EnableMetrics ran
 	reg         *metrics.Registry
@@ -186,6 +187,14 @@ func WithDegrade(factor, floor float64) Option {
 			a.degradeFloor = floor
 		}
 	}
+}
+
+// WithOnRound registers a hook invoked at the end of every sampling round
+// with the round's flattened resource snapshot. The live performance
+// store's ingest path hangs off this: the application pairs the snapshot
+// with its achieved metrics to emit telemetry samples.
+func WithOnRound(fn func(now time.Duration, est resource.Vector)) Option {
+	return func(a *Agent) { a.onRound = fn }
 }
 
 // WithHysteresis overrides the consecutive-violation count needed to fire
@@ -403,6 +412,9 @@ func (a *Agent) round(now time.Duration) {
 		a.lastGood[key] = est
 		a.estimateGauge(key).Set(est)
 		a.checkRange(now, comp, pr.Kind(), est)
+	}
+	if a.onRound != nil {
+		a.onRound(now, a.Snapshot())
 	}
 }
 

@@ -1,0 +1,97 @@
+package perfdb
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"tunable/internal/resource"
+	"tunable/internal/spec"
+)
+
+// fuzzApp is a small but representative specification: an int parameter,
+// an enum parameter, and two metrics — enough shape that config keys,
+// resource vectors, and metric names in fuzz input all have something real
+// to resolve (or fail to resolve) against.
+const fuzzAppSource = `
+app fuzzapp;
+control_parameters {
+    int n in {1, 2, 4};
+    enum mode in {fast, small};
+}
+execution_env {
+    host h;
+}
+qos_metric {
+    duration time minimize;
+    scalar quality maximize;
+}
+task t {
+    params { n, mode }
+    uses { h.cpu }
+    yields { time, quality }
+}
+`
+
+// FuzzDBLoad feeds arbitrary bytes to (*DB).Load, mirroring the compress
+// fuzz idiom: persisted input may be malformed, truncated, or hostile, and
+// Load must either succeed or return an error — never panic, and never
+// leave the database half-validated (every record that made it in must
+// pass the same checks Add applies).
+func FuzzDBLoad(f *testing.F) {
+	app := spec.MustParse(fuzzAppSource)
+
+	// Seed with a real Save round trip, truncations of it, and structured
+	// near-misses (wrong app, unknown parameter, unknown metric, non-JSON).
+	seedDB := New(app)
+	cfg := spec.Config{"n": spec.Int(2), "mode": spec.Enum("fast")}
+	res := resource.Vector{resource.CPU: 0.5}
+	if err := seedDB.Add(cfg, res, spec.Metrics{"time": 1.5, "quality": 0.9}); err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := seedDB.Save(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add(valid[:1])
+	f.Add([]byte{})
+	f.Add([]byte(`{"app":"otherapp","records":[]}`))
+	f.Add([]byte(`{"app":"fuzzapp","records":[{"config":"zz=9","resources":{"cpu":1},"metrics":{"time":1},"samples":1}]}`))
+	f.Add([]byte(`{"app":"fuzzapp","records":[{"config":"n=1,mode=fast","resources":{"cpu":1},"metrics":{"bogus":1},"samples":1}]}`))
+	f.Add([]byte(`{"app":"fuzzapp","records":[{"config":"n=1,mode=fast","resources":{},"metrics":{},"samples":-7}]}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(strings.Repeat(`[`, 64)))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		db := New(spec.MustParse(fuzzAppSource))
+		if err := db.Load(bytes.NewReader(data)); err != nil {
+			return // malformed input must error, and did
+		}
+		// Whatever loaded must be internally consistent: every surviving
+		// record revalidates, and a Save/Load round trip reproduces it.
+		for _, c := range db.Configs() {
+			if err := db.App().ValidateConfig(c); err != nil {
+				t.Fatalf("loaded config fails validation: %v", err)
+			}
+			for _, rec := range db.Records(c) {
+				if rec.Samples < 1 {
+					t.Fatalf("loaded record has %d samples", rec.Samples)
+				}
+			}
+		}
+		var out bytes.Buffer
+		if err := db.Save(&out); err != nil {
+			t.Fatalf("save after successful load: %v", err)
+		}
+		again := New(spec.MustParse(fuzzAppSource))
+		if err := again.Load(bytes.NewReader(out.Bytes())); err != nil {
+			t.Fatalf("round trip of accepted input failed: %v", err)
+		}
+		if again.Len() != db.Len() {
+			t.Fatalf("round trip changed record count: %d != %d", again.Len(), db.Len())
+		}
+	})
+}

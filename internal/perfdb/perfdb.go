@@ -10,6 +10,7 @@
 package perfdb
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -17,6 +18,29 @@ import (
 	"tunable/internal/resource"
 	"tunable/internal/spec"
 )
+
+// ErrNoProfile reports that a database holds no records for a requested
+// configuration. Predict wraps it with the configuration key, so callers
+// test with errors.Is and degrade gracefully (the scheduler skips the
+// candidate) instead of string-matching an ad-hoc error.
+var ErrNoProfile = errors.New("perfdb: no profile for configuration")
+
+// Model is the read side of a performance model: what the resource
+// scheduler needs to evaluate candidate configurations. *DB is the static,
+// testbed-profiled implementation; perfstore's live store implements the
+// same interface over refined, persisted profiles.
+type Model interface {
+	// App returns the application specification the model describes.
+	App() *spec.App
+	// Configs lists the configurations with at least one record.
+	Configs() []spec.Config
+	// Records returns all records for a configuration in deterministic
+	// order (used to reconstruct validity-range lattices).
+	Records(cfg spec.Config) []*Record
+	// Predict estimates the metrics cfg would achieve under res. A
+	// configuration with no profile reports an error wrapping ErrNoProfile.
+	Predict(cfg spec.Config, res resource.Vector) (spec.Metrics, error)
+}
 
 // Record is one profiled sample: the quality metrics a configuration
 // achieved under specific resource conditions in the testbed.
@@ -55,6 +79,8 @@ type configProfile struct {
 	records map[string]*Record // keyed by resource vector Key
 	dims    map[resource.Kind]bool
 }
+
+var _ Model = (*DB)(nil)
 
 // New creates an empty database for app.
 func New(app *spec.App) *DB {
@@ -234,7 +260,7 @@ func (db *DB) Nearest(cfg spec.Config, res resource.Vector) (*Record, bool) {
 func (db *DB) Predict(cfg spec.Config, res resource.Vector) (spec.Metrics, error) {
 	p, ok := db.profiles[cfg.Key()]
 	if !ok || len(p.records) == 0 {
-		return nil, fmt.Errorf("perfdb: no profile for configuration %s", cfg.Key())
+		return nil, fmt.Errorf("%w: %s", ErrNoProfile, cfg.Key())
 	}
 	if db.mode == NearestOnly {
 		rec, _ := db.Nearest(cfg, res)

@@ -1,0 +1,135 @@
+package perfstore
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"tunable/internal/resource"
+	"tunable/internal/spec"
+)
+
+// ProfileRecord is one refined sample point: the exponentially weighted
+// estimate of the metrics a configuration achieves at a resource point,
+// as learned from live telemetry. A record present in a profile overrides
+// the profiled prior at the same resource point; records at resource
+// points the prior never swept extend the lattice.
+type ProfileRecord struct {
+	Resources map[string]float64 `json:"resources"`
+	Metrics   map[string]float64 `json:"metrics"`
+	// Weight is the effective sample mass behind Metrics under the EW
+	// update (w' = 1 + (1-α)·w): it saturates at 1/α and is what sweep
+	// merges weigh against.
+	Weight float64 `json:"weight"`
+	// Samples counts live samples folded into this record.
+	Samples int64 `json:"samples"`
+}
+
+// Vector returns the record's resource point as a resource.Vector.
+func (r *ProfileRecord) Vector() resource.Vector {
+	v := make(resource.Vector, len(r.Resources))
+	for k, x := range r.Resources {
+		v[resource.Kind(k)] = x
+	}
+	return v
+}
+
+// resKey is the canonical map key of the record's resource point,
+// quantized identically to perfdb's record keys so overlay records line up
+// with prior records.
+func (r *ProfileRecord) resKey() string { return r.Vector().Key() }
+
+// Profile is the persisted refined overlay for one configuration. It holds
+// only what live telemetry changed or added — the profiled prior shows
+// through wherever the overlay is silent — so the write-ahead log stays
+// proportional to observed drift, not to the sweep lattice.
+type Profile struct {
+	ConfigKey string `json:"config"`
+	// Version counts refinement folds applied to this profile; it is
+	// strictly increasing across persistence round trips.
+	Version uint64 `json:"version"`
+	// Records are kept sorted by canonical resource key so the encoded
+	// form is deterministic (snapshots must be byte-stable).
+	Records []ProfileRecord `json:"records"`
+}
+
+// Clone deep-copies the profile.
+func (p *Profile) Clone() *Profile {
+	out := &Profile{ConfigKey: p.ConfigKey, Version: p.Version}
+	out.Records = make([]ProfileRecord, len(p.Records))
+	for i, r := range p.Records {
+		nr := ProfileRecord{
+			Resources: make(map[string]float64, len(r.Resources)),
+			Metrics:   make(map[string]float64, len(r.Metrics)),
+			Weight:    r.Weight,
+			Samples:   r.Samples,
+		}
+		for k, v := range r.Resources {
+			nr.Resources[k] = v
+		}
+		for k, v := range r.Metrics {
+			nr.Metrics[k] = v
+		}
+		out.Records[i] = nr
+	}
+	return out
+}
+
+// find returns the index of the record at the given canonical resource
+// key, or -1.
+func (p *Profile) find(resKey string) int {
+	for i := range p.Records {
+		if p.Records[i].resKey() == resKey {
+			return i
+		}
+	}
+	return -1
+}
+
+// normalize sorts records into canonical (resource key) order.
+func (p *Profile) normalize() {
+	sort.Slice(p.Records, func(i, j int) bool {
+		return p.Records[i].resKey() < p.Records[j].resKey()
+	})
+}
+
+// encode renders the profile as canonical JSON: records in resource-key
+// order, map keys sorted (encoding/json sorts them), no indentation. The
+// same logical profile always encodes to the same bytes — WAL records and
+// snapshots depend on this for byte-stable round trips.
+func (p *Profile) encode() ([]byte, error) {
+	p.normalize()
+	return json.Marshal(p)
+}
+
+// decodeProfile parses an encoded profile, rejecting structural garbage
+// (missing config key, non-finite values are caught later at fold time).
+func decodeProfile(b []byte) (*Profile, error) {
+	var p Profile
+	if err := json.Unmarshal(b, &p); err != nil {
+		return nil, fmt.Errorf("perfstore: decode profile: %w", err)
+	}
+	if p.ConfigKey == "" && len(p.Records) > 0 {
+		return nil, fmt.Errorf("perfstore: profile with records but no config key")
+	}
+	p.normalize()
+	return &p, nil
+}
+
+// metricsOf converts a record's metric map to spec.Metrics.
+func metricsOf(m map[string]float64) spec.Metrics {
+	out := make(spec.Metrics, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// resourcesFrom converts a resource.Vector to the profile's portable map.
+func resourcesFrom(v resource.Vector) map[string]float64 {
+	out := make(map[string]float64, len(v))
+	for k, x := range v {
+		out[string(k)] = x
+	}
+	return out
+}

@@ -1,0 +1,160 @@
+package perfstore
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+
+	"tunable/internal/perfdb"
+	"tunable/internal/resource"
+	"tunable/internal/spec"
+)
+
+// countingStore counts backend loads (for single-flight assertions).
+type countingStore struct {
+	Store
+	mu    sync.Mutex
+	loads map[string]int
+}
+
+func newCountingStore(inner Store) *countingStore {
+	return &countingStore{Store: inner, loads: make(map[string]int)}
+}
+
+func (s *countingStore) Load(configKey string) (*Profile, error) {
+	s.mu.Lock()
+	s.loads[configKey]++
+	s.mu.Unlock()
+	return s.Store.Load(configKey)
+}
+
+func (s *countingStore) count(configKey string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.loads[configKey]
+}
+
+// TestConcurrentIngestAndPredict hammers the store from three directions
+// at once — ingest goroutines folding samples, reader goroutines
+// predicting through the cache, and an eviction goroutine invalidating
+// entries mid-flight (racing the single-flight backend load against
+// folds). Run under -race; correctness assertions are at the end.
+func TestConcurrentIngestAndPredict(t *testing.T) {
+	app := testApp(t)
+	prior := testPrior(t, app)
+	backend := newCountingStore(NewMemStore())
+	s, err := New(app, prior, backend, Options{BatchSize: 4, CacheEntries: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	configs := []spec.Config{cfgOf("lzw", 1), cfgOf("bzw", 1), cfgOf("lzw", 2), cfgOf("bzw", 2)}
+	res := resource.Vector{resource.Bandwidth: 100e3}
+
+	const writers, readers, rounds = 4, 4, 200
+	var wg sync.WaitGroup
+	for wi := 0; wi < writers; wi++ {
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				cfg := configs[(wi+i)%len(configs)]
+				s.Offer(Sample{
+					Config:    cfg,
+					Resources: res,
+					Observed:  spec.Metrics{"time": 50 + float64(i%7), "quality": 0.85},
+				})
+			}
+		}(wi)
+	}
+	for ri := 0; ri < readers; ri++ {
+		wg.Add(1)
+		go func(ri int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				cfg := configs[(ri+i)%len(configs)]
+				m, err := s.Predict(cfg, res)
+				if err != nil && !errors.Is(err, perfdb.ErrNoProfile) {
+					t.Errorf("Predict: %v", err)
+					return
+				}
+				if err == nil {
+					if v := m["time"]; math.IsNaN(v) || v <= 0 {
+						t.Errorf("Predict returned nonsense time %v", v)
+						return
+					}
+				}
+			}
+		}(ri)
+	}
+	// Eviction pressure: invalidate entries while loads and folds are in
+	// flight, so single-flight reloads race fold reconciliation.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			s.InvalidateCache(configs[i%len(configs)])
+		}
+	}()
+	wg.Wait()
+	s.Flush()
+
+	// After the dust settles every config's cached state must equal a
+	// fresh materialization of the backend's persisted profile: no lost
+	// updates, no stale cache surviving its version.
+	for _, cfg := range configs {
+		key := cfg.Key()
+		s.InvalidateCache(cfg)
+		fresh, err := s.Predict(cfg, res)
+		if err != nil {
+			t.Fatalf("final Predict %s: %v", key, err)
+		}
+		p, err := backend.Load(key)
+		if err != nil {
+			t.Fatalf("backend has no profile for %s after ingest: %v", key, err)
+		}
+		i := p.find(res.Key())
+		if i < 0 {
+			t.Fatalf("profile %s missing the sampled point", key)
+		}
+		if got := fresh["time"]; math.Abs(got-p.Records[i].Metrics["time"]) > 1e-9 {
+			t.Fatalf("cache/store diverged for %s: cache %v, store %v", key, got, p.Records[i].Metrics["time"])
+		}
+		if p.Records[i].Samples == 0 {
+			t.Fatalf("profile %s folded zero samples", key)
+		}
+	}
+}
+
+// TestSingleFlightLoad proves a cold configuration issues exactly one
+// backend load no matter how many Predicts arrive at once.
+func TestSingleFlightLoad(t *testing.T) {
+	app := testApp(t)
+	backend := newCountingStore(NewMemStore())
+	s, err := New(app, testPrior(t, app), backend, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := cfgOf("lzw", 1)
+	res := resource.Vector{resource.Bandwidth: 100e3}
+
+	const n = 16
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			if _, err := s.Predict(cfg, res); err != nil {
+				t.Errorf("Predict: %v", err)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	if got := backend.count(cfg.Key()); got != 1 {
+		t.Fatalf("cold config issued %d backend loads, want 1 (single-flight)", got)
+	}
+}

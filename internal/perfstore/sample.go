@@ -1,0 +1,98 @@
+package perfstore
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"tunable/internal/resource"
+	"tunable/internal/spec"
+)
+
+// Sample is one live telemetry observation: under configuration Config and
+// observed resource conditions Resources, the application achieved
+// Observed. Monitors emit one per monitoring round; the avis server emits
+// one per completed request sequence.
+type Sample struct {
+	Config    spec.Config
+	Resources resource.Vector
+	Observed  spec.Metrics
+	// At is the virtual (or wall) time the observation completed; ingest
+	// order is arrival order, At is carried for diagnostics.
+	At time.Duration
+	// Source names the emitting component ("monitor", "avis-server", ...).
+	Source string
+}
+
+// validate rejects structurally unusable samples before they reach the
+// filter: unknown configs, unknown metrics, non-finite values.
+func (s *Sample) validate(app *spec.App) error {
+	if err := app.ValidateConfig(s.Config); err != nil {
+		return err
+	}
+	if len(s.Observed) == 0 {
+		return fmt.Errorf("perfstore: sample has no metrics")
+	}
+	for name, v := range s.Observed {
+		if app.Metric(name) == nil {
+			return fmt.Errorf("perfstore: unknown metric %q", name)
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("perfstore: non-finite value for metric %q", name)
+		}
+	}
+	for _, v := range s.Resources {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("perfstore: non-finite resource value")
+		}
+	}
+	return nil
+}
+
+// WireSample is the portable JSON form of a Sample, used by the cluster
+// control protocol to ship observations from agents to the coordinator.
+// The configuration travels as its canonical key so the wire format stays
+// independent of the spec.Value encoding.
+type WireSample struct {
+	Config    string             `json:"config"`
+	Resources map[string]float64 `json:"resources"`
+	Metrics   map[string]float64 `json:"metrics"`
+	AtNanos   int64              `json:"at"`
+	Source    string             `json:"source,omitempty"`
+}
+
+// Wire converts a Sample to its portable form.
+func (s *Sample) Wire() WireSample {
+	return WireSample{
+		Config:    s.Config.Key(),
+		Resources: resourcesFrom(s.Resources),
+		Metrics:   map[string]float64(s.Observed.Clone()),
+		AtNanos:   int64(s.At),
+		Source:    s.Source,
+	}
+}
+
+// FromWire resolves a WireSample against an application spec, validating
+// the configuration key as it goes.
+func FromWire(app *spec.App, w WireSample) (Sample, error) {
+	cfg, err := app.ParseConfigKey(w.Config)
+	if err != nil {
+		return Sample{}, fmt.Errorf("perfstore: wire sample: %w", err)
+	}
+	// ParseConfigKey resolves kinds but not domains; wire input comes from
+	// remote agents, so check membership too.
+	if err := app.ValidateConfig(cfg); err != nil {
+		return Sample{}, fmt.Errorf("perfstore: wire sample: %w", err)
+	}
+	res := make(resource.Vector, len(w.Resources))
+	for k, v := range w.Resources {
+		res[resource.Kind(k)] = v
+	}
+	return Sample{
+		Config:    cfg,
+		Resources: res,
+		Observed:  metricsOf(w.Metrics),
+		At:        time.Duration(w.AtNanos),
+		Source:    w.Source,
+	}, nil
+}

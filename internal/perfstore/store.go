@@ -1,0 +1,72 @@
+package perfstore
+
+import (
+	"errors"
+	"sort"
+	"sync"
+)
+
+// ErrNotFound reports that a store holds no profile for a configuration
+// key. The read-through cache treats it as "prior only", not as a failure.
+var ErrNotFound = errors.New("perfstore: profile not found")
+
+// Store is the pluggable persistence backend for refined profiles. All
+// implementations are safe for concurrent use; Load returns a private
+// copy the caller may mutate freely.
+type Store interface {
+	// Load returns the profile persisted under configKey, or ErrNotFound.
+	Load(configKey string) (*Profile, error)
+	// Save persists the profile (full replace under its ConfigKey).
+	Save(p *Profile) error
+	// Keys lists persisted configuration keys in sorted order.
+	Keys() ([]string, error)
+	// Close releases backend resources; the store is unusable afterwards.
+	Close() error
+}
+
+// MemStore is the in-memory Store: a mutex-guarded map of deep-copied
+// profiles. It is the default backend for simulations and tests, and the
+// reference semantics the WAL backend must match.
+type MemStore struct {
+	mu sync.Mutex
+	m  map[string]*Profile
+}
+
+// NewMemStore creates an empty in-memory store.
+func NewMemStore() *MemStore { return &MemStore{m: make(map[string]*Profile)} }
+
+// Load implements Store.
+func (s *MemStore) Load(configKey string) (*Profile, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.m[configKey]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return p.Clone(), nil
+}
+
+// Save implements Store.
+func (s *MemStore) Save(p *Profile) error {
+	c := p.Clone()
+	c.normalize()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m[c.ConfigKey] = c
+	return nil
+}
+
+// Keys implements Store.
+func (s *MemStore) Keys() ([]string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keys := make([]string, 0, len(s.m))
+	for k := range s.m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys, nil
+}
+
+// Close implements Store.
+func (s *MemStore) Close() error { return nil }

@@ -1,0 +1,441 @@
+package perfstore
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// WAL layout: a directory holding at most one snapshot plus a sequence of
+// append-only log segments.
+//
+//	snap-<version, 16 hex digits>.json   full state at that store version
+//	wal-<seq, 8 digits>.log              records appended since the snapshot
+//
+// Each log record is [length uint32 LE][crc32(payload) uint32 LE][payload]
+// where payload is one canonically encoded Profile (a full profile put —
+// profiles are small, and full puts make replay order-insensitive per
+// key). Save appends; when the active segment exceeds MaxSegmentBytes a
+// new one is opened, and when the directory holds more than
+// CompactAfterSegments segments the whole state is rewritten as a fresh
+// versioned snapshot and the segments are deleted.
+//
+// Reopen loads the newest snapshot and replays every segment in sequence
+// order. A torn record at the tail of the final segment (the shape a
+// crash leaves) is truncated away; corruption anywhere else is an error —
+// silently skipping interior records would resurrect stale profiles.
+const (
+	walRecordHeader = 8
+	snapPrefix      = "snap-"
+	segPrefix       = "wal-"
+)
+
+// WALOptions tunes the WAL backend. Zero values take defaults.
+type WALOptions struct {
+	MaxSegmentBytes      int64 // rotate the active segment beyond this (default 1 MiB)
+	CompactAfterSegments int   // snapshot + reset once this many segments exist (default 4)
+}
+
+func (o WALOptions) withDefaults() WALOptions {
+	if o.MaxSegmentBytes <= 0 {
+		o.MaxSegmentBytes = 1 << 20
+	}
+	if o.CompactAfterSegments <= 0 {
+		o.CompactAfterSegments = 4
+	}
+	return o
+}
+
+// WALStore is the append-only, segmented file backend. The full profile
+// set also lives in memory (profiles are two to three orders of magnitude
+// smaller than the pyramids the data plane caches), so reads never touch
+// disk; the files exist to survive restarts.
+type WALStore struct {
+	dir  string
+	opts WALOptions
+
+	mu       sync.Mutex
+	profiles map[string]*Profile
+	version  uint64 // store-wide sequence: snapshot version + replayed/appended records
+	cur      *os.File
+	curSeq   int
+	curBytes int64
+	walBytes int64 // bytes across all live segments
+	closed   bool
+
+	onWALBytes func(int64) // metrics hook; may be nil
+}
+
+// OpenWAL opens (creating if needed) a WAL store in dir and recovers its
+// state from the newest snapshot plus the log segments.
+func OpenWAL(dir string, opts WALOptions) (*WALStore, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("perfstore: wal dir: %w", err)
+	}
+	s := &WALStore{dir: dir, opts: opts, profiles: make(map[string]*Profile)}
+	if err := s.recover(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// snapVersion parses "snap-<hex>.json"; segSeq parses "wal-<n>.log".
+func snapVersion(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, snapPrefix) || !strings.HasSuffix(name, ".json") {
+		return 0, false
+	}
+	v, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, snapPrefix), ".json"), 16, 64)
+	return v, err == nil
+}
+
+func segSeq(name string) (int, bool) {
+	if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, ".log") {
+		return 0, false
+	}
+	n, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, segPrefix), ".log"))
+	return n, err == nil
+}
+
+func (s *WALStore) snapPath(version uint64) string {
+	return filepath.Join(s.dir, fmt.Sprintf("%s%016x.json", snapPrefix, version))
+}
+
+func (s *WALStore) segPath(seq int) string {
+	return filepath.Join(s.dir, fmt.Sprintf("%s%08d.log", segPrefix, seq))
+}
+
+// snapshotFile is the snapshot schema: the store version plus every
+// profile in config-key order (canonical bytes — see Snapshot).
+type snapshotFile struct {
+	Version  uint64     `json:"version"`
+	Profiles []*Profile `json:"profiles"`
+}
+
+func (s *WALStore) recover() error {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("perfstore: wal scan: %w", err)
+	}
+	bestSnap := uint64(0)
+	haveSnap := false
+	var segs []int
+	for _, e := range entries {
+		if v, ok := snapVersion(e.Name()); ok {
+			if !haveSnap || v > bestSnap {
+				bestSnap, haveSnap = v, true
+			}
+		}
+		if n, ok := segSeq(e.Name()); ok {
+			segs = append(segs, n)
+		}
+	}
+	if haveSnap {
+		b, err := os.ReadFile(s.snapPath(bestSnap))
+		if err != nil {
+			return fmt.Errorf("perfstore: read snapshot: %w", err)
+		}
+		var sf snapshotFile
+		if err := json.Unmarshal(b, &sf); err != nil {
+			return fmt.Errorf("perfstore: decode snapshot %016x: %w", bestSnap, err)
+		}
+		for _, p := range sf.Profiles {
+			p.normalize()
+			s.profiles[p.ConfigKey] = p
+		}
+		s.version = sf.Version
+	}
+	sort.Ints(segs)
+	for i, seq := range segs {
+		if err := s.replaySegment(seq, i == len(segs)-1); err != nil {
+			return err
+		}
+	}
+	// Append into the highest segment (or start the first one).
+	next := 1
+	if n := len(segs); n > 0 {
+		next = segs[n-1]
+	}
+	f, err := os.OpenFile(s.segPath(next), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("perfstore: open segment: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("perfstore: stat segment: %w", err)
+	}
+	s.cur, s.curSeq, s.curBytes = f, next, st.Size()
+	return nil
+}
+
+// replaySegment folds one segment's records into the in-memory state. A
+// torn tail in the final segment is truncated; anything else fails.
+func (s *WALStore) replaySegment(seq int, last bool) error {
+	path := s.segPath(seq)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("perfstore: read segment: %w", err)
+	}
+	off := 0
+	for off < len(b) {
+		rest := b[off:]
+		if len(rest) < walRecordHeader {
+			break // torn header
+		}
+		n := int(binary.LittleEndian.Uint32(rest[0:4]))
+		sum := binary.LittleEndian.Uint32(rest[4:8])
+		if n < 0 || walRecordHeader+n > len(rest) {
+			break // torn payload
+		}
+		payload := rest[walRecordHeader : walRecordHeader+n]
+		if crc32.ChecksumIEEE(payload) != sum {
+			break // corrupt record
+		}
+		p, err := decodeProfile(payload)
+		if err != nil {
+			break // structurally corrupt payload
+		}
+		s.profiles[p.ConfigKey] = p
+		s.version++
+		off += walRecordHeader + n
+	}
+	if off != len(b) {
+		if !last {
+			return fmt.Errorf("perfstore: segment %d corrupt at offset %d (not the tail segment)", seq, off)
+		}
+		if err := os.Truncate(path, int64(off)); err != nil {
+			return fmt.Errorf("perfstore: truncate torn tail: %w", err)
+		}
+	}
+	s.walBytes += int64(off)
+	return nil
+}
+
+// Load implements Store.
+func (s *WALStore) Load(configKey string) (*Profile, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.profiles[configKey]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return p.Clone(), nil
+}
+
+// Keys implements Store.
+func (s *WALStore) Keys() ([]string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keys := make([]string, 0, len(s.profiles))
+	for k := range s.profiles {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys, nil
+}
+
+// Save implements Store: append a WAL record, then rotate/compact when the
+// bounds say so.
+func (s *WALStore) Save(p *Profile) error {
+	c := p.Clone()
+	payload, err := c.encode()
+	if err != nil {
+		return fmt.Errorf("perfstore: encode profile: %w", err)
+	}
+	var hdr [walRecordHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("perfstore: store closed")
+	}
+	if _, err := s.cur.Write(hdr[:]); err != nil {
+		return fmt.Errorf("perfstore: append: %w", err)
+	}
+	if _, err := s.cur.Write(payload); err != nil {
+		return fmt.Errorf("perfstore: append: %w", err)
+	}
+	n := int64(walRecordHeader + len(payload))
+	s.curBytes += n
+	s.walBytes += n
+	s.profiles[c.ConfigKey] = c
+	s.version++
+	if s.curBytes >= s.opts.MaxSegmentBytes {
+		if err := s.rotateLocked(); err != nil {
+			return err
+		}
+		if s.curSeq-s.oldestSegLocked() >= s.opts.CompactAfterSegments {
+			if err := s.compactLocked(); err != nil {
+				return err
+			}
+		}
+	}
+	if s.onWALBytes != nil {
+		s.onWALBytes(s.walBytes)
+	}
+	return nil
+}
+
+// oldestSegLocked returns the lowest live segment sequence number.
+func (s *WALStore) oldestSegLocked() int {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return s.curSeq
+	}
+	oldest := s.curSeq
+	for _, e := range entries {
+		if n, ok := segSeq(e.Name()); ok && n < oldest {
+			oldest = n
+		}
+	}
+	return oldest
+}
+
+// rotateLocked closes the active segment and opens the next.
+func (s *WALStore) rotateLocked() error {
+	if err := s.cur.Close(); err != nil {
+		return fmt.Errorf("perfstore: close segment: %w", err)
+	}
+	s.curSeq++
+	f, err := os.OpenFile(s.segPath(s.curSeq), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("perfstore: rotate: %w", err)
+	}
+	s.cur, s.curBytes = f, 0
+	return nil
+}
+
+// compactLocked writes a fresh versioned snapshot and deletes the log
+// segments (and older snapshots) it subsumes.
+func (s *WALStore) compactLocked() error {
+	tmp := filepath.Join(s.dir, "snap.tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("perfstore: snapshot: %w", err)
+	}
+	if err := s.writeSnapshotLocked(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("perfstore: snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, s.snapPath(s.version)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("perfstore: snapshot rename: %w", err)
+	}
+	// Retire everything the snapshot covers: all segments but a fresh
+	// active one, and any older snapshot.
+	if err := s.cur.Close(); err != nil {
+		return fmt.Errorf("perfstore: close segment: %w", err)
+	}
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("perfstore: compact scan: %w", err)
+	}
+	for _, e := range entries {
+		if n, ok := segSeq(e.Name()); ok {
+			if err := os.Remove(s.segPath(n)); err != nil {
+				return fmt.Errorf("perfstore: compact: %w", err)
+			}
+		}
+		if v, ok := snapVersion(e.Name()); ok && v < s.version {
+			_ = os.Remove(s.snapPath(v))
+		}
+	}
+	s.curSeq++
+	nf, err := os.OpenFile(s.segPath(s.curSeq), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("perfstore: compact: %w", err)
+	}
+	s.cur, s.curBytes, s.walBytes = nf, 0, 0
+	if s.onWALBytes != nil {
+		s.onWALBytes(0)
+	}
+	return nil
+}
+
+// writeSnapshotLocked writes the canonical snapshot bytes: version, then
+// profiles sorted by config key, each with records in resource-key order.
+// The same logical state always produces identical bytes.
+func (s *WALStore) writeSnapshotLocked(w io.Writer) error {
+	keys := make([]string, 0, len(s.profiles))
+	for k := range s.profiles {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	sf := snapshotFile{Version: s.version, Profiles: make([]*Profile, 0, len(keys))}
+	for _, k := range keys {
+		p := s.profiles[k].Clone()
+		p.normalize()
+		sf.Profiles = append(sf.Profiles, p)
+	}
+	b, err := json.Marshal(sf)
+	if err != nil {
+		return fmt.Errorf("perfstore: encode snapshot: %w", err)
+	}
+	if _, err := w.Write(b); err != nil {
+		return fmt.Errorf("perfstore: write snapshot: %w", err)
+	}
+	return nil
+}
+
+// Snapshot writes the canonical snapshot bytes of the current state —
+// the same bytes Compact persists. Two stores holding the same logical
+// state produce identical output (the byte-stability contract restarts
+// are tested against).
+func (s *WALStore) Snapshot(w io.Writer) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.writeSnapshotLocked(w)
+}
+
+// Compact forces a snapshot + segment reset now.
+func (s *WALStore) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("perfstore: store closed")
+	}
+	return s.compactLocked()
+}
+
+// Version reports the store-wide sequence number (records applied since
+// genesis, surviving restarts).
+func (s *WALStore) Version() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.version
+}
+
+// WalBytes reports the bytes held in live log segments (what the
+// perfstore_wal_bytes gauge exports; compaction resets it).
+func (s *WALStore) WalBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.walBytes
+}
+
+// Close implements Store.
+func (s *WALStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	return s.cur.Close()
+}

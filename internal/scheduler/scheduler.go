@@ -69,10 +69,12 @@ type Decision struct {
 	ValidRanges map[resource.Kind][2]float64
 }
 
-// Scheduler selects configurations for one tunable application.
+// Scheduler selects configurations for one tunable application. It runs
+// over any perfdb.Model — the static profiled database or perfstore's
+// live, refining store.
 type Scheduler struct {
 	app   *spec.App
-	db    *perfdb.DB
+	db    perfdb.Model
 	prefs []Preference
 	cands []spec.Config
 
@@ -81,6 +83,7 @@ type Scheduler struct {
 	mSelects         *metrics.Counter
 	mNoFeasible      *metrics.Counter
 	mPruned          *metrics.Counter
+	mNoProfile       *metrics.Counter
 	mCandidates      *metrics.Gauge
 }
 
@@ -98,13 +101,15 @@ func (s *Scheduler) EnableMetrics(reg *metrics.Registry) {
 		"Decisions where no configuration satisfied any preference.")
 	s.mPruned = reg.Counter("sched_candidates_pruned_total",
 		"Candidate configurations rejected during constraint pruning.")
+	s.mNoProfile = reg.Counter("sched_no_profile_skips_total",
+		"Candidates skipped because the model holds no profile for them.")
 	s.mCandidates = reg.Gauge("sched_candidates", "Size of the candidate set.")
 	s.mCandidates.Set(float64(len(s.cands)))
 }
 
-// New creates a scheduler. Candidates default to the configurations
-// present in the database that pass all task guards.
-func New(app *spec.App, db *perfdb.DB, prefs []Preference) (*Scheduler, error) {
+// New creates a scheduler over any performance model. Candidates default
+// to the configurations present in the model that pass all task guards.
+func New(app *spec.App, db perfdb.Model, prefs []Preference) (*Scheduler, error) {
 	if len(prefs) == 0 {
 		return nil, fmt.Errorf("scheduler: no preferences given")
 	}
@@ -201,6 +206,12 @@ func (s *Scheduler) selectForPref(pref Preference, res resource.Vector) (spec.Co
 	for _, cfg := range s.cands {
 		m, err := s.db.Predict(cfg, res)
 		if err != nil {
+			// A candidate the model cannot speak for (typed ErrNoProfile —
+			// e.g. a live store still cold for it) is skipped, not fatal:
+			// the decision degrades to the profiled candidates.
+			if errors.Is(err, perfdb.ErrNoProfile) {
+				s.mNoProfile.Inc()
+			}
 			continue
 		}
 		ok := true

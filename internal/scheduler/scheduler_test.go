@@ -287,3 +287,83 @@ func TestConstraintHelpers(t *testing.T) {
 		t.Fatal("range")
 	}
 }
+
+// gappyModel wraps a perfdb.Model but reports ErrNoProfile for a chosen
+// set of configurations — the shape of a live store that is still cold for
+// some candidates.
+type gappyModel struct {
+	perfdb.Model
+	missing map[string]bool
+}
+
+func (g *gappyModel) Predict(cfg spec.Config, res resource.Vector) (spec.Metrics, error) {
+	if g.missing[cfg.Key()] {
+		return nil, perfdb.ErrNoProfile
+	}
+	return g.Model.Predict(cfg, res)
+}
+
+func (g *gappyModel) Records(cfg spec.Config) []*perfdb.Record {
+	if g.missing[cfg.Key()] {
+		return nil
+	}
+	return g.Model.Records(cfg)
+}
+
+// TestSelectSkipsNoProfileCandidates proves the scheduler degrades
+// gracefully over a model with profile gaps: candidates reporting the
+// typed perfdb.ErrNoProfile are skipped (not fatal), and the decision
+// falls back to the best profiled candidate.
+func TestSelectSkipsNoProfileCandidates(t *testing.T) {
+	app := codecApp()
+	db := buildDB(t, app)
+	pref := []Preference{{
+		Name:        "fast",
+		Constraints: []Constraint{AtLeast("resolution", 4)},
+		Objective:   "transmit_time",
+	}}
+
+	// Baseline: at high bandwidth the full model picks lzw.
+	full, err := New(app, db, pref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := full.Select(resource.Vector{resource.Bandwidth: 500e3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Config["c"].S != "lzw" {
+		t.Fatalf("baseline chose %s", d.Config.Key())
+	}
+
+	// Knock the winner's profile out: the scheduler must fall back to the
+	// remaining profiled candidate rather than fail.
+	gappy := &gappyModel{Model: db, missing: map[string]bool{d.Config.Key(): true}}
+	s, err := New(app, gappy, pref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := s.Select(resource.Vector{resource.Bandwidth: 500e3})
+	if err != nil {
+		t.Fatalf("gap in model must not be fatal: %v", err)
+	}
+	if d2.Config.Equal(d.Config) {
+		t.Fatalf("scheduler selected the profile-less candidate %s", d2.Config.Key())
+	}
+	if d2.Config["c"].S != "bzw" {
+		t.Fatalf("fallback chose %s, want the bzw candidate", d2.Config.Key())
+	}
+
+	// All profiles gone: now it is ErrNoFeasible, still not a panic.
+	all := map[string]bool{}
+	for _, c := range full.Candidates() {
+		all[c.Key()] = true
+	}
+	empty, err := New(app, &gappyModel{Model: db, missing: all}, pref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := empty.Select(resource.Vector{resource.Bandwidth: 500e3}); err != ErrNoFeasible {
+		t.Fatalf("fully cold model: got %v, want ErrNoFeasible", err)
+	}
+}

@@ -12,14 +12,15 @@ go build ./...
 echo "== make lint (vet + staticcheck when installed)"
 make lint
 
-# Fast fail on the cluster control plane and the edge cache tier: the
-# failover e2e test, the avis drain/concurrency tests, and the edge-tier
-# smoke (its seeded chaos schedule drives an origin reset plus a lossy
-# window through one edge node) are the most concurrency-heavy spots in
-# the repo, so run them under -race before committing to the long
-# full-suite run below.
-echo "== go test -race ./internal/cluster ./internal/avis ./internal/edge (quick gate)"
-go test -race -timeout 5m ./internal/cluster ./internal/avis ./internal/edge
+# Fast fail on the cluster control plane, the edge cache tier, and the
+# live performance store: the failover e2e test, the avis
+# drain/concurrency tests, the edge-tier smoke (its seeded chaos schedule
+# drives an origin reset plus a lossy window through one edge node), and
+# the perfstore's concurrent ingest/predict/eviction tests are the most
+# concurrency-heavy spots in the repo, so run them under -race before
+# committing to the long full-suite run below.
+echo "== go test -race ./internal/cluster ./internal/avis ./internal/edge ./internal/perfstore (quick gate)"
+go test -race -timeout 5m ./internal/cluster ./internal/avis ./internal/edge ./internal/perfstore
 
 # Swarm smoke: a small avis-load run (1k virtual-time sessions, with a
 # mid-run kill and failover re-placement) end-to-ends the sharded
