@@ -21,11 +21,13 @@
 package main
 
 import (
+	"encoding/binary"
 	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net"
+	"os"
 	"time"
 
 	"tunable/internal/avis"
@@ -59,6 +61,8 @@ func main() {
 	failoverBackoff := flag.Duration("failover-backoff", 100*time.Millisecond, "base of the jittered exponential backoff between failover attempts (with -coord)")
 	retryBudget := flag.Int("retry-budget", 0, "total retry tokens for the session, 0 = unlimited (with -coord)")
 	retryBudgetRate := flag.Float64("retry-budget-rate", 0, "retry tokens refilled per second (with -retry-budget)")
+	wireV1 := flag.Bool("wirev1", false, "speak v1 framing and JSON control bodies, as a pre-v2 build would (mixed-version rollouts)")
+	dump := flag.String("dump", "", "append each reconstructed image's pixels (float64 LE) to this file (implies client-side reconstruction)")
 	flag.Parse()
 
 	var reg *metrics.Registry
@@ -76,6 +80,7 @@ func main() {
 	var client fetcher
 	if *coord != "" {
 		resolver := cluster.NewResolver(*coord, 0)
+		resolver.SetWireV1(*wireV1)
 		defer resolver.Close()
 		opts := []cluster.FailoverOption{
 			cluster.WithBandwidth(*bw),
@@ -112,6 +117,7 @@ func main() {
 		if err != nil {
 			log.Fatalf("avis-client: %v", err)
 		}
+		rc.SetWireV1(*wireV1)
 		rc.SetIOTimeout(*ioTimeout)
 		if reg != nil {
 			rc.EnableMetrics(reg)
@@ -126,11 +132,21 @@ func main() {
 	fmt.Printf("connected: %d images, %d² pixels, %d levels\n",
 		geom.NumImages, geom.Side, geom.Levels)
 
+	var dumpFile *os.File
+	if *dump != "" {
+		f, err := os.Create(*dump)
+		if err != nil {
+			log.Fatalf("avis-client: %v", err)
+		}
+		defer f.Close()
+		dumpFile = f
+	}
+
 	fmt.Println("image\ttransmit(s)\tresponse(s)\trounds\traw(B)\twire(B)")
 	for i := 0; i < *n; i++ {
 		img := i % geom.NumImages
 		var canvas *wavelet.Canvas
-		if *verify {
+		if *verify || dumpFile != nil {
 			var err error
 			canvas, err = wavelet.NewCanvas(geom.Side, geom.Levels)
 			if err != nil {
@@ -145,10 +161,18 @@ func main() {
 			img, st.TransmitTime.Seconds(), st.AvgResponse.Seconds(),
 			st.Rounds, st.RawBytes, st.WireBytes)
 		if canvas != nil {
-			if _, err := canvas.Reconstruct(*level); err != nil {
+			rec, err := canvas.Reconstruct(*level)
+			if err != nil {
 				log.Fatalf("avis-client: reconstruction failed: %v", err)
 			}
-			fmt.Printf("  image %d reconstructed at level %d\n", img, *level)
+			if *verify {
+				fmt.Printf("  image %d reconstructed at level %d\n", img, *level)
+			}
+			if dumpFile != nil {
+				if err := binary.Write(dumpFile, binary.LittleEndian, rec.Pix); err != nil {
+					log.Fatalf("avis-client: dump: %v", err)
+				}
+			}
 		}
 	}
 	if fc, ok := client.(*cluster.FailoverClient); ok && fc.Failovers() > 0 {

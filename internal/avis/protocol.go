@@ -113,8 +113,15 @@ func decodeRequest(b []byte) (Request, error) {
 	}, nil
 }
 
-func encodeSegment(s Segment) []byte {
-	out := make([]byte, 14+len(s.Payload))
+// segmentHeadLen is the fixed size of a segment message before its
+// payload: tag(1) + image(4) + raw(4) + seq(4) + last(1).
+const segmentHeadLen = 14
+
+// appendSegmentHead renders a segment message's header (everything but
+// the payload) into dst — the scatter-gather half of encodeSegment, for
+// framing a segment around its payload without gluing them together.
+func appendSegmentHead(dst []byte, s Segment) []byte {
+	var out [segmentHeadLen]byte
 	out[0] = tagSegment
 	binary.LittleEndian.PutUint32(out[1:], uint32(s.Image))
 	binary.LittleEndian.PutUint32(out[5:], uint32(s.Raw))
@@ -122,8 +129,12 @@ func encodeSegment(s Segment) []byte {
 	if s.Last {
 		out[13] = 1
 	}
-	copy(out[14:], s.Payload)
-	return out
+	return append(dst, out[:]...)
+}
+
+func encodeSegment(s Segment) []byte {
+	out := appendSegmentHead(make([]byte, 0, segmentHeadLen+len(s.Payload)), s)
+	return append(out, s.Payload...)
 }
 
 func decodeSegment(b []byte) (Segment, error) {

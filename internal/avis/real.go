@@ -1,7 +1,6 @@
 package avis
 
 import (
-	"bufio"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -16,6 +15,7 @@ import (
 	"tunable/internal/metrics"
 	"tunable/internal/netem"
 	"tunable/internal/wavelet"
+	"tunable/internal/wire"
 )
 
 // Real-network deployment mode: the same wire protocol, wavelet pyramid,
@@ -26,8 +26,9 @@ import (
 // cmd/avis-client.
 
 // frameLimit bounds a single protocol frame (a frame carries at most one
-// reply segment plus headers).
-const frameLimit = 1 << 22
+// reply segment plus headers). It equals wire.FrameLimit: both framings
+// share one bound.
+const frameLimit = wire.FrameLimit
 
 // ErrIOTimeout is the sentinel matched by errors.Is for frame I/O that
 // missed its deadline; the concrete error is always a *TimeoutError.
@@ -76,26 +77,37 @@ type deadlineRW struct {
 
 func (d *deadlineRW) Read(p []byte) (int, error) {
 	if d.timeout > 0 {
-		_ = d.conn.SetReadDeadline(time.Now().Add(d.timeout))
+		if err := d.conn.SetReadDeadline(time.Now().Add(d.timeout)); err != nil {
+			return 0, fmt.Errorf("avis: arm read deadline: %w", err)
+		}
 	}
 	return d.conn.Read(p)
 }
 
 func (d *deadlineRW) Write(p []byte) (int, error) {
 	if d.timeout > 0 {
-		_ = d.conn.SetWriteDeadline(time.Now().Add(d.timeout))
+		if err := d.conn.SetWriteDeadline(time.Now().Add(d.timeout)); err != nil {
+			return 0, fmt.Errorf("avis: arm write deadline: %w", err)
+		}
 	}
 	return d.conn.Write(p)
 }
 
-// writeFrame sends one length-prefixed protocol message.
+// writeFrame sends one length-prefixed protocol message. The frame is
+// emitted as a single Write — header and body coalesced — so two
+// goroutines sharing an unbuffered conn can never interleave a header
+// into another writer's body. Oversize messages fail before any byte
+// escapes, with a *wire.FrameSizeError matching wire.ErrFrameTooLarge
+// (the uint32 length field would otherwise silently truncate them).
 func writeFrame(w io.Writer, msg []byte) error {
-	var hdr [4]byte
-	binary.LittleEndian.PutUint32(hdr[:], uint32(len(msg)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
+	if len(msg) > frameLimit {
+		return &wire.FrameSizeError{N: len(msg), Limit: frameLimit}
 	}
-	_, err := w.Write(msg)
+	buf := bufpool.Get(4 + len(msg))
+	binary.LittleEndian.PutUint32(buf, uint32(len(msg)))
+	copy(buf[4:], msg)
+	_, err := w.Write(buf)
+	bufpool.Put(buf)
 	return err
 }
 
@@ -160,6 +172,7 @@ type RealServer struct {
 	store     *ImageStore
 	segBytes  int
 	ioTimeout time.Duration
+	wireV1    bool
 
 	// connection accounting for load reporting and graceful drain; conns
 	// and listeners are guarded by connMu, active is read lock-free by
@@ -184,6 +197,7 @@ type RealServer struct {
 	mIOTimeouts  *metrics.Counter
 	mCodecSwitch *metrics.Counter
 	mCodec       map[string]*codecInstruments
+	wInst        wire.Instruments
 }
 
 // SetIOTimeout bounds how long a frame read or write on a connection may
@@ -191,6 +205,12 @@ type RealServer struct {
 // *TimeoutError (0, the default, waits forever). It applies to
 // connections accepted after the call.
 func (s *RealServer) SetIOTimeout(d time.Duration) { s.ioTimeout = d }
+
+// SetWireV1 pins the server to v1 framing: negotiation probes get the
+// old server's "unknown message" refusal, so clients fall back. Used to
+// stand in for a pre-v2 build in mixed-version conformance tests and
+// staged rollouts.
+func (s *RealServer) SetWireV1(v bool) { s.wireV1 = v }
 
 // EnableMetrics instruments the server. Metric families:
 // avis_connections_total, avis_requests_total, avis_request_seconds
@@ -210,6 +230,7 @@ func (s *RealServer) EnableMetrics(reg *metrics.Registry) {
 	s.mErrors = reg.Counter("avis_errors_total", "Protocol or serve errors returned to clients.")
 	s.mIOTimeouts = reg.Counter("avis_io_timeouts_total", "Connections dropped on frame I/O timeout.")
 	s.mCodec = newCodecInstruments(reg, "encode")
+	s.wInst = wire.NewInstruments(reg)
 }
 
 // NewRealServer creates a server for the given synthetic image set.
@@ -315,12 +336,11 @@ func (s *RealServer) Shutdown(timeout time.Duration) int {
 // handle services one connection.
 func (s *RealServer) handle(conn net.Conn) error {
 	s.mConns.Inc()
-	rw := &deadlineRW{conn: conn, timeout: s.ioTimeout}
-	r := bufio.NewReaderSize(rw, 64<<10)
-	w := bufio.NewWriterSize(rw, 64<<10)
+	wc := wire.NewConn(conn, s.ioTimeout)
+	wc.SetInstruments(s.wInst)
 	codec, _ := compress.Lookup("raw")
 	for {
-		msg, err := readFrame(r)
+		msg, err := wc.ReadMsg()
 		if err != nil {
 			if err == io.EOF {
 				return nil
@@ -332,30 +352,35 @@ func (s *RealServer) handle(conn net.Conn) error {
 			return err
 		}
 		if len(msg) == 0 {
+			bufpool.Put(msg)
 			continue
 		}
+		if wire.IsNegotiate(msg) && !s.wireV1 {
+			// A v2 client probes before anything else; answer and upgrade.
+			// When pinned to v1 (SetWireV1) the probe instead falls into the
+			// default arm below — the exact refusal an old build sends, which
+			// is what the client's fallback path keys on.
+			err := wc.AcceptV2(msg, 0)
+			bufpool.Put(msg)
+			if err != nil {
+				return wrapTimeout("write", s.ioTimeout, err)
+			}
+			continue
+		}
+		werr := error(nil)
 		switch msg[0] {
 		case tagHello:
-			if err := writeFrame(w, encodeGeom(s.geom)); err != nil {
-				return err
-			}
+			werr = wc.WriteMsg(encodeGeom(s.geom))
 		case tagNotify:
 			name, err := decodeNotify(msg)
-			if err != nil {
-				s.mErrors.Inc()
-				s.stats.errors.Add(1)
-				if werr := writeFrame(w, encodeError(err.Error())); werr != nil {
-					return wrapTimeout("write", s.ioTimeout, werr)
-				}
-				break
+			var c compress.Codec
+			if err == nil {
+				c, err = compress.Lookup(name)
 			}
-			c, err := compress.Lookup(name)
 			if err != nil {
 				s.mErrors.Inc()
 				s.stats.errors.Add(1)
-				if werr := writeFrame(w, encodeError(err.Error())); werr != nil {
-					return wrapTimeout("write", s.ioTimeout, werr)
-				}
+				werr = wc.WriteMsg(encodeError(err.Error()))
 				break
 			}
 			codec = c
@@ -364,39 +389,38 @@ func (s *RealServer) handle(conn net.Conn) error {
 		case tagRequest:
 			req, err := decodeRequest(msg)
 			if err == nil {
-				err = s.serveReal(w, codec, req)
+				err = s.serveReal(wc, codec, req)
 			}
 			if err != nil {
 				if errors.Is(err, ErrIOTimeout) {
 					s.mIOTimeouts.Inc()
+					bufpool.Put(msg)
 					return err
 				}
 				s.mErrors.Inc()
 				s.stats.errors.Add(1)
-				if werr := writeFrame(w, encodeError(err.Error())); werr != nil {
-					return wrapTimeout("write", s.ioTimeout, werr)
-				}
+				werr = wc.WriteMsg(encodeError(err.Error()))
 			}
 		case tagClose:
-			return wrapTimeout("write", s.ioTimeout, w.Flush())
+			bufpool.Put(msg)
+			return nil
 		default:
 			s.mErrors.Inc()
 			s.stats.errors.Add(1)
-			if err := writeFrame(w, encodeError("unknown message")); err != nil {
-				return wrapTimeout("write", s.ioTimeout, err)
-			}
+			werr = wc.WriteMsg(encodeError("unknown message"))
 		}
-		if err := w.Flush(); err != nil {
-			err = wrapTimeout("write", s.ioTimeout, err)
-			if errors.Is(err, ErrIOTimeout) {
+		bufpool.Put(msg)
+		if werr != nil {
+			werr = wrapTimeout("write", s.ioTimeout, werr)
+			if errors.Is(werr, ErrIOTimeout) {
 				s.mIOTimeouts.Inc()
 			}
-			return err
+			return werr
 		}
 	}
 }
 
-func (s *RealServer) serveReal(w io.Writer, codec compress.Codec, req Request) error {
+func (s *RealServer) serveReal(wc *wire.Conn, codec compress.Codec, req Request) error {
 	start := time.Now()
 	s.mRequests.Inc()
 	s.stats.requests.Add(1)
@@ -421,9 +445,9 @@ func (s *RealServer) serveReal(w io.Writer, codec compress.Codec, req Request) e
 	bufpool.Put(raw)
 	defer bufpool.Put(enc)
 	s.stats.compressedBytes.Add(int64(len(enc)))
-	err = WriteSegments(w, req.Image, req.Seq, rawLen, enc, s.segBytes, func(wire int) {
+	err = WriteSegmentsWire(wc, req.Image, req.Seq, rawLen, enc, s.segBytes, func(wireBytes int) {
 		s.mSegments.Inc()
-		s.mSentBytes.Add(float64(wire))
+		s.mSentBytes.Add(float64(wireBytes))
 	})
 	if err != nil {
 		return wrapTimeout("write", s.ioTimeout, err)
@@ -434,15 +458,15 @@ func (s *RealServer) serveReal(w io.Writer, codec compress.Codec, req Request) e
 
 // RealClient fetches images over a net.Conn using wall-clock timing.
 type RealClient struct {
-	conn   net.Conn
-	rw     *deadlineRW
-	r      *bufio.Reader
-	w      *bufio.Writer
-	geom   Geometry
-	params Params
-	codec  compress.Codec
-	stats  []ImageStat
-	epoch  time.Time
+	conn      net.Conn
+	wc        *wire.Conn
+	ioTimeout time.Duration
+	wireV1    bool
+	geom      Geometry
+	params    Params
+	codec     compress.Codec
+	stats     []ImageStat
+	epoch     time.Time
 
 	// telemetry instruments; nil (no-op) unless EnableMetrics ran
 	mFetchSeconds *metrics.Histogram
@@ -462,12 +486,9 @@ func NewRealClient(conn net.Conn, params Params) (*RealClient, error) {
 	if err != nil {
 		return nil, err
 	}
-	rw := &deadlineRW{conn: conn}
 	return &RealClient{
 		conn:   conn,
-		rw:     rw,
-		r:      bufio.NewReaderSize(rw, 64<<10),
-		w:      bufio.NewWriterSize(rw, 64<<10),
+		wc:     wire.NewConn(conn, 0),
 		params: params,
 		codec:  codec,
 		epoch:  time.Now(),
@@ -477,7 +498,18 @@ func NewRealClient(conn net.Conn, params Params) (*RealClient, error) {
 // SetIOTimeout bounds how long any frame read or write may go without
 // progress before the call fails with a *TimeoutError instead of blocking
 // forever on a dead peer (0, the default, waits forever).
-func (c *RealClient) SetIOTimeout(d time.Duration) { c.rw.timeout = d }
+func (c *RealClient) SetIOTimeout(d time.Duration) {
+	c.ioTimeout = d
+	c.wc.SetTimeout(d)
+}
+
+// SetWireV1 pins the client to v1 framing: Connect skips the version
+// probe entirely, speaking to the server exactly as a pre-v2 build
+// would. Used by mixed-version conformance tests and staged rollouts.
+func (c *RealClient) SetWireV1(v bool) { c.wireV1 = v }
+
+// WireVersion reports the framing version negotiated by Connect.
+func (c *RealClient) WireVersion() int { return int(c.wc.Version()) }
 
 // EnableMetrics instruments the client. Metric families: avis_fetch_seconds
 // (per-image download latency), avis_round_seconds (per-round response
@@ -494,35 +526,42 @@ func (c *RealClient) EnableMetrics(reg *metrics.Registry) {
 	c.mImages = reg.Counter("avis_images_total", "Images fully downloaded.")
 	c.mIOTimeouts = reg.Counter("avis_io_timeouts_total", "Frame reads/writes that missed the I/O deadline.")
 	c.mCodec = newCodecInstruments(reg, "decode")
+	c.wc.SetInstruments(wire.NewInstruments(reg))
 }
 
-// readFrameT reads one frame, converting a missed deadline into a typed
-// *TimeoutError.
+// readFrameT reads one frame into a pooled buffer (callers return it with
+// bufpool.Put), converting a missed deadline into a typed *TimeoutError.
 func (c *RealClient) readFrameT() ([]byte, error) {
-	msg, err := readFrame(c.r)
-	err = wrapTimeout("read", c.rw.timeout, err)
+	msg, err := c.wc.ReadMsg()
+	err = wrapTimeout("read", c.ioTimeout, err)
 	if errors.Is(err, ErrIOTimeout) {
 		c.mIOTimeouts.Inc()
 	}
 	return msg, err
 }
 
-// writeFrameT writes one frame and flushes, converting a missed deadline
-// into a typed *TimeoutError.
+// writeFrameT writes one frame, converting a missed deadline into a typed
+// *TimeoutError.
 func (c *RealClient) writeFrameT(msg []byte) error {
-	err := writeFrame(c.w, msg)
-	if err == nil {
-		err = c.w.Flush()
-	}
-	err = wrapTimeout("write", c.rw.timeout, err)
+	err := wrapTimeout("write", c.ioTimeout, c.wc.WriteMsg(msg))
 	if errors.Is(err, ErrIOTimeout) {
 		c.mIOTimeouts.Inc()
 	}
 	return err
 }
 
-// Connect performs the handshake and codec announcement.
+// Connect negotiates the wire version, then performs the handshake and
+// codec announcement. Against an old server the version probe is answered
+// with a refusal and the session proceeds in v1 framing.
 func (c *RealClient) Connect() error {
+	if !c.wireV1 {
+		if err := wrapTimeout("negotiate", c.ioTimeout, c.wc.StartClient(0)); err != nil {
+			if errors.Is(err, ErrIOTimeout) {
+				c.mIOTimeouts.Inc()
+			}
+			return err
+		}
+	}
 	if err := c.writeFrameT(encodeHello()); err != nil {
 		return err
 	}
@@ -531,6 +570,7 @@ func (c *RealClient) Connect() error {
 		return err
 	}
 	geom, err := decodeGeom(msg)
+	bufpool.Put(msg)
 	if err != nil {
 		return err
 	}
@@ -633,15 +673,20 @@ func (c *RealClient) FetchRoundRaw(req Request) (data []byte, wireN int, err err
 		}
 		if len(msg) > 0 && msg[0] == tagError {
 			bufpool.Put(compressed)
-			return nil, 0, fmt.Errorf("avis: server error: %s", msg[1:])
+			err := fmt.Errorf("avis: server error: %s", msg[1:])
+			bufpool.Put(msg)
+			return nil, 0, err
 		}
 		seg, err := decodeSegment(msg)
 		if err != nil {
 			bufpool.Put(compressed)
+			bufpool.Put(msg)
 			return nil, 0, err
 		}
 		compressed = append(compressed, seg.Payload...)
-		if seg.Last {
+		last := seg.Last
+		bufpool.Put(msg)
+		if last {
 			break
 		}
 	}

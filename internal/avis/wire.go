@@ -3,6 +3,9 @@ package avis
 import (
 	"fmt"
 	"io"
+
+	"tunable/internal/bufpool"
+	"tunable/internal/wire"
 )
 
 // Exported wire-protocol codecs. The edge tier (internal/edge) terminates
@@ -91,6 +94,48 @@ func WriteSegments(w io.Writer, image, seq, rawLen int, enc []byte, segBytes int
 		}
 	}
 	return nil
+}
+
+// WriteSegmentsWire is WriteSegments over a wire.Conn: the same
+// segmentation discipline, but every segment header is rendered into one
+// pooled arena and gathered with its payload slice by scatter-gather
+// framing, so the whole reply — all segments, headers and payloads — goes
+// out in a single vectored write with zero payload copies.
+func WriteSegmentsWire(c *wire.Conn, image, seq, rawLen int, enc []byte, segBytes int, onSeg func(wireBytes int)) error {
+	if segBytes <= 0 {
+		segBytes = DefaultSegmentBytes
+	}
+	total := len(enc)
+	nseg := (total + segBytes - 1) / segBytes
+	if nseg == 0 {
+		nseg = 1
+	}
+	// One arena for every header; capacity is reserved up front so the
+	// slices handed to AppendFrame2 stay valid until the flush.
+	heads := bufpool.Get(nseg * segmentHeadLen)[:0]
+	defer bufpool.Put(heads)
+	for off := 0; off < total || off == 0; off += segBytes {
+		end := off + segBytes
+		if end > total {
+			end = total
+		}
+		rawShare := rawLen
+		if total > 0 {
+			rawShare = rawLen * (end - off) / total
+		}
+		hstart := len(heads)
+		heads = appendSegmentHead(heads, Segment{Image: image, Seq: seq, Raw: rawShare, Last: end == total})
+		if err := c.AppendFrame2(heads[hstart:], enc[off:end]); err != nil {
+			return err
+		}
+		if onSeg != nil {
+			onSeg(end - off)
+		}
+		if end == total {
+			break
+		}
+	}
+	return c.Flush()
 }
 
 // ReadReply gathers the segments of one round into dst (append-style),

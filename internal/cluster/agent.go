@@ -103,6 +103,10 @@ func (a *Agent) SetRetryPolicy(attempts int, b Backoff, budget *RetryBudget) {
 // SetDialer interposes on control-plane dials (fault injection).
 func (a *Agent) SetDialer(dial DialFunc) { a.cl.setDialer(dial) }
 
+// SetWireV1 pins the agent's control connections to v1 framing and JSON
+// bodies, as a pre-v2 build would speak (mixed-version rollouts, tests).
+func (a *Agent) SetWireV1(v bool) { a.cl.setWireV1(v) }
+
 // MissedBeats reports the current run of consecutive failed heartbeats.
 func (a *Agent) MissedBeats() int { return int(a.missed.Load()) }
 
@@ -118,7 +122,10 @@ func (a *Agent) Start() error {
 }
 
 func (a *Agent) register() error {
-	_, err := a.cl.call(encodeCtrl(ctagRegister, a.node))
+	_, err := a.cl.call(ctrlReq{
+		js: func() []byte { return encodeCtrl(ctagRegister, a.node) },
+		v2: func(buf []byte) ([]byte, error) { return encodeRegisterV2(buf, a.node) },
+	})
 	return err
 }
 
@@ -152,7 +159,7 @@ func (a *Agent) flush() {
 		log.Printf("cluster: agent %s: encode delta: %v", a.node.ID, err)
 		return
 	}
-	ack, err := a.cl.call(frame)
+	ack, err := a.cl.call(ctrlReq{raw: frame}) // binary in both wire modes
 	bufpool.Put(frame)
 	if err != nil {
 		// The call layer already retried with backoff; a failure here
@@ -192,7 +199,10 @@ func (a *Agent) Close(deregister bool) {
 		close(a.stop)
 		<-a.done
 		if deregister {
-			if _, err := a.cl.call(encodeCtrl(ctagDeregister, nodeIDMsg{ID: a.node.ID})); err != nil {
+			if _, err := a.cl.call(ctrlReq{
+				js: func() []byte { return encodeCtrl(ctagDeregister, nodeIDMsg{ID: a.node.ID}) },
+				v2: func(buf []byte) ([]byte, error) { return encodeNodeIDV2(buf, ctagDeregister, a.node.ID) },
+			}); err != nil {
 				log.Printf("cluster: agent %s: deregister: %v", a.node.ID, err)
 			}
 		}

@@ -1,7 +1,6 @@
 package cluster
 
 import (
-	"bufio"
 	"fmt"
 	"net"
 	"runtime"
@@ -10,13 +9,14 @@ import (
 	"sync/atomic"
 	"time"
 
-	"tunable/internal/avis"
+	"tunable/internal/bufpool"
 	"tunable/internal/metrics"
 	"tunable/internal/perfstore"
 	"tunable/internal/resource"
 	"tunable/internal/sandbox"
 	"tunable/internal/scheduler"
 	"tunable/internal/vtime"
+	"tunable/internal/wire"
 )
 
 // Config tunes a Coordinator.
@@ -38,6 +38,11 @@ type Config struct {
 	// with its own lock, failure-detector timer wheel, and admission
 	// state, so control-plane ops on different shards never contend.
 	Shards int
+	// WireV1 pins the control plane to v1 framing and JSON bodies:
+	// version probes get the refusal a pre-v2 build sends, so every
+	// caller falls back. For mixed-version conformance tests and staged
+	// rollouts.
+	WireV1 bool
 }
 
 const (
@@ -181,6 +186,7 @@ type Coordinator struct {
 	mOpDeltaBatch *metrics.Counter
 	mBatchSize    *metrics.Histogram
 	mPlaceLatency *metrics.Histogram
+	wInst         wire.Instruments
 }
 
 // defaultShards picks the shard count for Config.Shards == 0: enough
@@ -302,6 +308,7 @@ func (c *Coordinator) EnableMetrics(reg *metrics.Registry) {
 	c.mBatchSize = reg.Histogram("cluster_delta_batch_size", "Entries per heartbeat delta batch.")
 	c.mPlaceLatency = reg.Histogram("cluster_placement_latency_seconds",
 		"Wall time per placement decision (Resolve).")
+	c.wInst = wire.NewInstruments(reg)
 	// Per-state gauges are maintained incrementally from here on; seed them
 	// (and the hot-counter sinks) with the current registry contents.
 	var alive, suspect, dead float64
@@ -950,23 +957,133 @@ func (c *Coordinator) Serve(l net.Listener) error {
 }
 
 // handle services one control connection: a loop of request frames, each
-// answered with an ack frame.
+// answered with an ack frame. A version probe upgrades the connection to
+// v2 framing with schema-coded bodies (unless Config.WireV1 pins it, in
+// which case the probe falls into dispatch's unknown-tag refusal — the
+// pre-v2 behavior callers key their fallback on).
 func (c *Coordinator) handle(conn net.Conn) {
-	rw := avis.NewDeadlineRW(conn, c.cfg.IOTimeout)
-	r := bufio.NewReaderSize(rw, 4<<10)
-	w := bufio.NewWriterSize(rw, 4<<10)
+	wc := wire.NewConn(conn, c.cfg.IOTimeout)
+	wc.SetInstruments(c.wInst)
 	for {
-		msg, err := avis.ReadFrame(r)
+		msg, err := wc.ReadMsg()
 		if err != nil {
 			return
 		}
-		ack := c.dispatch(msg)
-		if err := avis.WriteFrame(w, encodeCtrl(ctagAck, ack)); err != nil {
+		if wire.IsNegotiate(msg) && !c.cfg.WireV1 {
+			err := wc.AcceptV2(msg, wire.CapSchemaCtrl)
+			bufpool.Put(msg)
+			if err != nil {
+				return
+			}
+			continue
+		}
+		schema := wc.Caps()&wire.CapSchemaCtrl != 0
+		var ack ackMsg
+		if schema {
+			ack = c.dispatchV2(msg)
+		} else {
+			ack = c.dispatch(msg)
+		}
+		bufpool.Put(msg)
+		var reply []byte
+		if schema {
+			reply, err = encodeAckV2(bufpool.Get(512)[:0], &ack)
+			if err != nil {
+				bufpool.Put(reply)
+				return
+			}
+		} else {
+			reply = encodeCtrl(ctagAck, ack)
+		}
+		werr := wc.WriteMsg(reply)
+		if schema {
+			bufpool.Put(reply)
+		}
+		if werr != nil {
 			return
 		}
-		if err := w.Flush(); err != nil {
-			return
+	}
+}
+
+// dispatchV2 is dispatch for schema-coded bodies: the same tag switch
+// and registry calls, decoding with the runtime-interpreted schemas.
+// The binary delta batch is shared between modes.
+func (c *Coordinator) dispatchV2(msg []byte) ackMsg {
+	refuse := func(err error) ackMsg { return ackMsg{Err: err.Error()} }
+	if len(msg) == 0 {
+		return refuse(fmt.Errorf("empty frame"))
+	}
+	body := msg[1:]
+	switch msg[0] {
+	case ctagRegister:
+		info, err := decodeRegisterV2(body)
+		if err != nil {
+			return refuse(err)
 		}
+		if err := c.Register(info); err != nil {
+			return refuse(err)
+		}
+		return ackMsg{OK: true}
+	case ctagHeartbeat:
+		hb, err := decodeHeartbeatV2(body)
+		if err != nil {
+			return refuse(err)
+		}
+		return ackMsg{OK: true, Known: c.Heartbeat(hb.ID, hb.Load)}
+	case ctagDelta:
+		ack, err := c.applyDeltaFrame(msg)
+		if err != nil {
+			return refuse(err)
+		}
+		return ack
+	case ctagDeregister:
+		m, err := decodeNodeIDV2(body)
+		if err != nil {
+			return refuse(err)
+		}
+		c.Deregister(m.ID)
+		return ackMsg{OK: true}
+	case ctagResolve:
+		req, err := decodeResolveV2(body)
+		if err != nil {
+			return refuse(err)
+		}
+		grant, err := c.Resolve(req)
+		if err != nil {
+			return refuse(err)
+		}
+		return ackMsg{OK: true, Grant: grant}
+	case ctagEndSession:
+		m, err := decodeSessionV2(body)
+		if err != nil {
+			return refuse(err)
+		}
+		c.EndSession(m.SID)
+		return ackMsg{OK: true}
+	case ctagNodes:
+		return ackMsg{OK: true, Nodes: c.Nodes()}
+	case ctagPerfIngest:
+		m, err := decodePerfIngestV2(body)
+		if err != nil {
+			return refuse(err)
+		}
+		n, err := c.IngestSamples(m.Samples)
+		if err != nil {
+			return refuse(err)
+		}
+		return ackMsg{OK: true, Accepted: n}
+	case ctagPerfProfile:
+		m, err := decodePerfProfileV2(body)
+		if err != nil {
+			return refuse(err)
+		}
+		p, err := c.PerfProfile(m.ConfigKey)
+		if err != nil {
+			return refuse(err)
+		}
+		return ackMsg{OK: true, Profile: p}
+	default:
+		return refuse(fmt.Errorf("unknown control tag %q", msg[0]))
 	}
 }
 

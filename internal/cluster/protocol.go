@@ -1,7 +1,6 @@
 package cluster
 
 import (
-	"bufio"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -9,8 +8,10 @@ import (
 	"time"
 
 	"tunable/internal/avis"
+	"tunable/internal/bufpool"
 	"tunable/internal/metrics"
 	"tunable/internal/perfstore"
+	"tunable/internal/wire"
 )
 
 // Control-plane wire protocol: each message is one avis frame whose first
@@ -19,10 +20,10 @@ import (
 // hand-packed binary; the framing and timeout discipline stay shared with
 // the data plane (a wedged coordinator surfaces as avis.ErrIOTimeout).
 const (
-	ctagRegister   = 'g' // agent → coord: NodeInfo
-	ctagHeartbeat  = 'b' // agent → coord: heartbeatMsg
-	ctagDelta      = 'D' // agent → coord: binary delta batch (see delta.go)
-	ctagDeregister = 'd' // agent → coord: nodeIDMsg (clean leave)
+	ctagRegister    = 'g' // agent → coord: NodeInfo
+	ctagHeartbeat   = 'b' // agent → coord: heartbeatMsg
+	ctagDelta       = 'D' // agent → coord: binary delta batch (see delta.go)
+	ctagDeregister  = 'd' // agent → coord: nodeIDMsg (clean leave)
 	ctagResolve     = 'v' // client → coord: ResolveRequest
 	ctagEndSession  = 'e' // client → coord: sessionMsg
 	ctagNodes       = 'n' // anyone → coord: registry listing
@@ -118,48 +119,86 @@ func decodeCtrl(msg []byte, v any) error {
 	return nil
 }
 
+// ctrlReq describes one control request in both wire encodings, so the
+// frame is rendered only after a connection — with its negotiated
+// capability set — is in hand: raw is a pre-rendered frame valid in
+// either mode (the binary delta batch); otherwise js renders the JSON
+// form and v2 the schema form (appending to a pooled buffer).
+type ctrlReq struct {
+	raw []byte
+	js  func() []byte
+	v2  func(buf []byte) ([]byte, error)
+}
+
 // ctrlConn is one request/reply control-plane connection. Calls are
 // serialized; both the agent and the resolver keep one alive and redial
-// lazily on failure.
+// lazily on failure. schema records whether version negotiation granted
+// wire.CapSchemaCtrl — the body encoding both sides will use.
 type ctrlConn struct {
-	conn net.Conn
-	r    *bufio.Reader
-	w    *bufio.Writer
+	conn   net.Conn
+	wc     *wire.Conn
+	schema bool
+}
+
+// newCtrlConn wraps a dialed connection and negotiates the wire version
+// (unless pinned to v1). An old coordinator answers the probe with a
+// JSON refusal ack; the probe logic consumes it and stays on v1+JSON.
+func newCtrlConn(conn net.Conn, timeout time.Duration, wireV1 bool) (*ctrlConn, error) {
+	cc := &ctrlConn{conn: conn, wc: wire.NewConn(conn, timeout)}
+	if !wireV1 {
+		if err := cc.wc.StartClient(wire.CapSchemaCtrl); err != nil {
+			_ = conn.Close()
+			return nil, avis.WrapTimeout("negotiate", timeout, err)
+		}
+		cc.schema = cc.wc.Caps()&wire.CapSchemaCtrl != 0
+	}
+	return cc, nil
 }
 
 // dialCtrl connects to the coordinator. timeout bounds the dial and, when
 // positive, becomes the per-frame progress deadline of every later call.
-func dialCtrl(addr string, timeout time.Duration) (*ctrlConn, error) {
+func dialCtrl(addr string, timeout time.Duration, wireV1 bool) (*ctrlConn, error) {
 	conn, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: dial coordinator %s: %w", addr, err)
 	}
-	rw := avis.NewDeadlineRW(conn, timeout)
-	return &ctrlConn{
-		conn: conn,
-		r:    bufio.NewReaderSize(rw, 4<<10),
-		w:    bufio.NewWriterSize(rw, 4<<10),
-	}, nil
+	return newCtrlConn(conn, timeout, wireV1)
 }
 
-// call sends one request frame and decodes the coordinator's ack. An ack
-// with OK=false is returned as an error.
-func (c *ctrlConn) call(req []byte, timeout time.Duration) (ackMsg, error) {
-	if err := avis.WriteFrame(c.w, req); err != nil {
+// call renders the request in this connection's negotiated encoding,
+// sends it, and decodes the coordinator's ack. An ack with OK=false is
+// returned as an error.
+func (c *ctrlConn) call(req ctrlReq, timeout time.Duration) (ackMsg, error) {
+	frame := req.raw
+	if frame == nil {
+		if c.schema {
+			var err error
+			frame, err = req.v2(bufpool.Get(256)[:0])
+			if err != nil {
+				return ackMsg{}, err
+			}
+			defer bufpool.Put(frame)
+		} else {
+			frame = req.js()
+		}
+	}
+	if err := c.wc.WriteMsg(frame); err != nil {
 		return ackMsg{}, avis.WrapTimeout("write", timeout, err)
 	}
-	if err := c.w.Flush(); err != nil {
-		return ackMsg{}, avis.WrapTimeout("write", timeout, err)
-	}
-	msg, err := avis.ReadFrame(c.r)
+	msg, err := c.wc.ReadMsg()
 	if err != nil {
 		return ackMsg{}, avis.WrapTimeout("read", timeout, err)
 	}
+	defer bufpool.Put(msg)
 	if len(msg) < 1 || msg[0] != ctagAck {
 		return ackMsg{}, fmt.Errorf("cluster: unexpected reply frame")
 	}
 	var ack ackMsg
-	if err := decodeCtrl(msg, &ack); err != nil {
+	if c.schema {
+		if ack, err = decodeAckV2(msg[1:]); err != nil {
+			return ackMsg{}, err
+		}
+	} else if err := decodeCtrl(msg, &ack); err != nil {
 		return ackMsg{}, err
 	}
 	if !ack.OK {
@@ -200,7 +239,8 @@ type client struct {
 	idle     []*ctrlConn
 	closed   bool
 	dial     DialFunc
-	attempts int // per-call cap, including the first try
+	wireV1   bool // pin new connections to v1 framing + JSON bodies
+	attempts int  // per-call cap, including the first try
 	backoff  Backoff
 	budget   *RetryBudget
 	mRetries *metrics.Counter
@@ -237,9 +277,18 @@ func (c *client) setDialer(dial DialFunc) {
 	c.dial = dial
 }
 
+// setWireV1 pins every future connection to v1 framing and JSON bodies
+// (no version probe on dial), speaking as a pre-v2 build would. Existing
+// pooled connections are left as negotiated.
+func (c *client) setWireV1(v bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.wireV1 = v
+}
+
 // acquire checks a connection out of the idle pool, dialing a fresh one
 // when the pool is empty. The dial runs outside mu.
-func (c *client) acquire(dial DialFunc) (*ctrlConn, error) {
+func (c *client) acquire(dial DialFunc, wireV1 bool) (*ctrlConn, error) {
 	c.mu.Lock()
 	if n := len(c.idle); n > 0 {
 		cc := c.idle[n-1]
@@ -249,18 +298,13 @@ func (c *client) acquire(dial DialFunc) (*ctrlConn, error) {
 	}
 	c.mu.Unlock()
 	if dial == nil {
-		return dialCtrl(c.addr, c.timeout)
+		return dialCtrl(c.addr, c.timeout, wireV1)
 	}
 	conn, err := dial("tcp", c.addr, c.timeout)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: dial coordinator %s: %w", c.addr, err)
 	}
-	rw := avis.NewDeadlineRW(conn, c.timeout)
-	return &ctrlConn{
-		conn: conn,
-		r:    bufio.NewReaderSize(rw, 4<<10),
-		w:    bufio.NewWriterSize(rw, 4<<10),
-	}, nil
+	return newCtrlConn(conn, c.timeout, wireV1)
 }
 
 // release returns a healthy connection to the pool (or closes it when the
@@ -281,14 +325,14 @@ func (c *client) release(cc *ctrlConn) {
 // Each attempt already carries its own deadline (the dial timeout plus
 // the per-frame progress deadline), so the whole call is bounded by
 // attempts·(timeout+backoff).
-func (c *client) call(req []byte) (ackMsg, error) {
+func (c *client) call(req ctrlReq) (ackMsg, error) {
 	c.mu.Lock()
 	attempts, backoff, budget := c.attempts, c.backoff, c.budget
-	retries, dial := c.mRetries, c.dial
+	retries, dial, wireV1 := c.mRetries, c.dial, c.wireV1
 	c.mu.Unlock()
 	var lastErr error
 	for attempt := 0; ; attempt++ {
-		cc, err := c.acquire(dial)
+		cc, err := c.acquire(dial, wireV1)
 		if err == nil {
 			var ack ackMsg
 			ack, err = cc.call(req, c.timeout)

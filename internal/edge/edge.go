@@ -1,7 +1,6 @@
 package edge
 
 import (
-	"bufio"
 	"errors"
 	"fmt"
 	"io"
@@ -14,6 +13,7 @@ import (
 	"tunable/internal/bufpool"
 	"tunable/internal/compress"
 	"tunable/internal/metrics"
+	"tunable/internal/wire"
 )
 
 // DefaultOriginCodec compresses the origin leg. The edge decodes every
@@ -117,6 +117,7 @@ type Proxy struct {
 	mServeOrigin   *metrics.Histogram
 	mOriginSeconds *metrics.Histogram
 	mOriginRetries *metrics.Counter
+	wInst          wire.Instruments
 }
 
 // New creates an edge proxy. Start must run before Serve.
@@ -196,6 +197,7 @@ func (p *Proxy) EnableMetrics(reg *metrics.Registry) {
 	if p.pw != nil {
 		p.pw.enableMetrics(reg)
 	}
+	p.wInst = wire.NewInstruments(reg)
 }
 
 // Start dials the origin once to learn its geometry and spins up the
@@ -310,13 +312,12 @@ func (p *Proxy) Shutdown(timeout time.Duration) int {
 // the session — typically straight onto the origin.
 func (p *Proxy) handle(conn net.Conn) error {
 	p.mConns.Inc()
-	rw := avis.NewDeadlineRW(conn, p.cfg.IOTimeout)
-	r := bufio.NewReaderSize(rw, 64<<10)
-	w := bufio.NewWriterSize(rw, 64<<10)
+	wc := wire.NewConn(conn, p.cfg.IOTimeout)
+	wc.SetInstruments(p.wInst)
 	codec, _ := compress.Lookup("raw")
 	track := p.newTracker()
 	for {
-		msg, err := avis.ReadFrame(r)
+		msg, err := wc.ReadMsg()
 		if err != nil {
 			if err == io.EOF {
 				return nil
@@ -324,13 +325,21 @@ func (p *Proxy) handle(conn net.Conn) error {
 			return avis.WrapTimeout("read", p.cfg.IOTimeout, err)
 		}
 		if len(msg) == 0 {
+			bufpool.Put(msg)
 			continue
 		}
+		if wire.IsNegotiate(msg) {
+			err := wc.AcceptV2(msg, 0)
+			bufpool.Put(msg)
+			if err != nil {
+				return avis.WrapTimeout("write", p.cfg.IOTimeout, err)
+			}
+			continue
+		}
+		werr := error(nil)
 		switch msg[0] {
 		case avis.TagHello:
-			if err := avis.WriteFrame(w, avis.EncodeGeom(p.geom)); err != nil {
-				return err
-			}
+			werr = wc.WriteMsg(avis.EncodeGeom(p.geom))
 		case avis.TagNotify:
 			name, err := avis.DecodeNotify(msg)
 			var c compress.Codec
@@ -339,39 +348,36 @@ func (p *Proxy) handle(conn net.Conn) error {
 			}
 			if err != nil {
 				p.mErrors.Inc()
-				if werr := avis.WriteFrame(w, avis.EncodeError(err.Error())); werr != nil {
-					return avis.WrapTimeout("write", p.cfg.IOTimeout, werr)
-				}
+				werr = wc.WriteMsg(avis.EncodeError(err.Error()))
 				break
 			}
 			codec = c
 		case avis.TagRequest:
 			req, err := avis.DecodeRequest(msg)
 			if err == nil {
-				err = p.serve(w, codec, req, track)
+				err = p.serve(wc, codec, req, track)
 			}
 			if err != nil {
 				if transportError(err) {
 					// The origin leg is down (or this client's pipe broke):
 					// nothing truthful can be sent, so drop the connection
 					// and let client-side failover take over.
+					bufpool.Put(msg)
 					return err
 				}
 				p.mErrors.Inc()
-				if werr := avis.WriteFrame(w, avis.EncodeError(err.Error())); werr != nil {
-					return avis.WrapTimeout("write", p.cfg.IOTimeout, werr)
-				}
+				werr = wc.WriteMsg(avis.EncodeError(err.Error()))
 			}
 		case avis.TagClose:
-			return avis.WrapTimeout("write", p.cfg.IOTimeout, w.Flush())
+			bufpool.Put(msg)
+			return nil
 		default:
 			p.mErrors.Inc()
-			if err := avis.WriteFrame(w, avis.EncodeError("unknown message")); err != nil {
-				return avis.WrapTimeout("write", p.cfg.IOTimeout, err)
-			}
+			werr = wc.WriteMsg(avis.EncodeError("unknown message"))
 		}
-		if err := w.Flush(); err != nil {
-			return avis.WrapTimeout("write", p.cfg.IOTimeout, err)
+		bufpool.Put(msg)
+		if werr != nil {
+			return avis.WrapTimeout("write", p.cfg.IOTimeout, werr)
 		}
 	}
 }
@@ -380,7 +386,7 @@ func (p *Proxy) handle(conn net.Conn) error {
 // coalesce misses through single-flight), fine levels stream through. The
 // payload is re-encoded with the client's codec, so the bytes a client
 // receives are identical whether they crossed the cache or not.
-func (p *Proxy) serve(w io.Writer, codec compress.Codec, req avis.Request, track *foveaTracker) error {
+func (p *Proxy) serve(wc *wire.Conn, codec compress.Codec, req avis.Request, track *foveaTracker) error {
 	start := time.Now()
 	p.mRequests.Inc()
 	if req.Image < 0 || req.Image >= p.geom.NumImages {
@@ -415,7 +421,7 @@ func (p *Proxy) serve(w io.Writer, codec compress.Codec, req avis.Request, track
 	if pooled {
 		bufpool.Put(data)
 	}
-	err := avis.WriteSegments(w, req.Image, req.Seq, len(data), enc, p.cfg.SegBytes, nil)
+	err := avis.WriteSegmentsWire(wc, req.Image, req.Seq, len(data), enc, p.cfg.SegBytes, nil)
 	bufpool.Put(enc)
 	if err != nil {
 		return avis.WrapTimeout("write", p.cfg.IOTimeout, err)

@@ -1,0 +1,410 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"tunable/internal/bufpool"
+	"tunable/internal/metrics"
+)
+
+// duplex is an in-memory bidirectional stream for single-goroutine tests.
+type duplex struct {
+	in  *bytes.Buffer
+	out *bytes.Buffer
+}
+
+func (d *duplex) Read(p []byte) (int, error)  { return d.in.Read(p) }
+func (d *duplex) Write(p []byte) (int, error) { return d.out.Write(p) }
+
+func TestFrameRoundTripBothVersions(t *testing.T) {
+	for _, ver := range []Version{V1, V2} {
+		t.Run(fmt.Sprintf("v%d", ver), func(t *testing.T) {
+			var buf bytes.Buffer
+			w := NewStream(&duplex{in: &bytes.Buffer{}, out: &buf})
+			w.ver = ver
+			msgs := [][]byte{
+				{'H'},
+				append([]byte{'S'}, bytes.Repeat([]byte{0xAB}, 300)...),
+				{'N', 1, 2, 3},
+			}
+			for _, m := range msgs {
+				if err := w.WriteMsg(m); err != nil {
+					t.Fatalf("WriteMsg: %v", err)
+				}
+			}
+			r := NewStream(&duplex{in: &buf, out: &bytes.Buffer{}})
+			r.ver = ver
+			for i, want := range msgs {
+				got, err := r.ReadMsg()
+				if err != nil {
+					t.Fatalf("ReadMsg %d: %v", i, err)
+				}
+				if !bytes.Equal(got, want) {
+					t.Fatalf("msg %d: got %x want %x", i, got, want)
+				}
+				bufpool.Put(got)
+			}
+		})
+	}
+}
+
+func TestV2FrameLayout(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewStream(&duplex{in: &bytes.Buffer{}, out: &buf})
+	w.ver = V2
+	if err := w.WriteMsg([]byte{'R', 9, 8, 7}); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	if len(b) != 6+3 {
+		t.Fatalf("frame length %d, want 9", len(b))
+	}
+	if n := binary.LittleEndian.Uint32(b[:4]); n != 3 {
+		t.Fatalf("header length %d, want 3 (excludes tag)", n)
+	}
+	if b[4] != 'R' {
+		t.Fatalf("type byte %q, want 'R'", b[4])
+	}
+	if b[5] != 0 {
+		t.Fatalf("flags byte %d, want 0", b[5])
+	}
+	if !bytes.Equal(b[6:], []byte{9, 8, 7}) {
+		t.Fatalf("payload %x", b[6:])
+	}
+}
+
+func TestAppendFrame2GathersOneMessage(t *testing.T) {
+	for _, ver := range []Version{V1, V2} {
+		var buf bytes.Buffer
+		w := NewStream(&duplex{in: &bytes.Buffer{}, out: &buf})
+		w.ver = ver
+		head := []byte{'S', 0, 1}
+		payload := bytes.Repeat([]byte{7}, 50)
+		if err := w.AppendFrame2(head, payload); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.AppendFrame([]byte{'E', 42}); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		r := NewStream(&duplex{in: &buf, out: &bytes.Buffer{}})
+		r.ver = ver
+		m1, err := r.ReadMsg()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(m1, append(append([]byte{}, head...), payload...)) {
+			t.Fatalf("v%d: gathered frame mismatch (%d bytes)", ver, len(m1))
+		}
+		m2, err := r.ReadMsg()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(m2, []byte{'E', 42}) {
+			t.Fatalf("v%d: second frame %x", ver, m2)
+		}
+	}
+}
+
+func TestFrameSizeErrorOnSend(t *testing.T) {
+	w := NewStream(&duplex{in: &bytes.Buffer{}, out: &bytes.Buffer{}})
+	big := make([]byte, FrameLimit+2)
+	big[0] = 'S'
+	err := w.WriteMsg(big)
+	if err == nil {
+		t.Fatal("oversize frame accepted")
+	}
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("error %v does not match ErrFrameTooLarge", err)
+	}
+	var fse *FrameSizeError
+	if !errors.As(err, &fse) {
+		t.Fatalf("error %T is not *FrameSizeError", err)
+	}
+	if fse.N != FrameLimit+2 || fse.Limit != FrameLimit {
+		t.Fatalf("FrameSizeError = %+v", fse)
+	}
+	// In v2 the tag byte rides in the header, so a message exactly one
+	// byte over the v1 limit still fits.
+	w2 := NewStream(&duplex{in: &bytes.Buffer{}, out: &bytes.Buffer{}})
+	w2.ver = V2
+	if err := w2.WriteMsg(big[:FrameLimit+1]); err != nil {
+		t.Fatalf("v2 frame of limit+tag bytes rejected: %v", err)
+	}
+}
+
+func TestNegotiateV2BothSides(t *testing.T) {
+	reg := metrics.New()
+	inst := NewInstruments(reg)
+	cliConn, srvConn := net.Pipe()
+	cli := NewConn(cliConn, time.Second)
+	srv := NewConn(srvConn, time.Second)
+	cli.SetInstruments(inst)
+	srv.SetInstruments(inst)
+
+	done := make(chan error, 1)
+	go func() {
+		msg, err := srv.ReadMsg()
+		if err != nil {
+			done <- err
+			return
+		}
+		if !IsNegotiate(msg) {
+			done <- fmt.Errorf("first message %x is not a probe", msg)
+			return
+		}
+		err = srv.AcceptV2(msg, CapSchemaCtrl)
+		bufpool.Put(msg)
+		done <- err
+	}()
+	if err := cli.StartClient(CapSchemaCtrl); err != nil {
+		t.Fatalf("StartClient: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("AcceptV2: %v", err)
+	}
+	if cli.Version() != V2 || srv.Version() != V2 {
+		t.Fatalf("versions cli=%d srv=%d, want v2/v2", cli.Version(), srv.Version())
+	}
+	if cli.Caps() != CapSchemaCtrl || srv.Caps() != CapSchemaCtrl {
+		t.Fatalf("caps cli=%x srv=%x", cli.Caps(), srv.Caps())
+	}
+	// Post-negotiation traffic flows in v2 frames.
+	go func() { done <- cli.WriteMsg([]byte{'H', 1}) }()
+	msg, err := srv.ReadMsg()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(msg, []byte{'H', 1}) {
+		t.Fatalf("post-negotiation msg %x", msg)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNegotiateCapsAreANDed(t *testing.T) {
+	cliConn, srvConn := net.Pipe()
+	cli := NewConn(cliConn, time.Second)
+	srv := NewConn(srvConn, time.Second)
+	done := make(chan error, 1)
+	go func() {
+		msg, err := srv.ReadMsg()
+		if err != nil {
+			done <- err
+			return
+		}
+		done <- srv.AcceptV2(msg, 0) // server offers nothing
+	}()
+	if err := cli.StartClient(CapSchemaCtrl); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if cli.Version() != V2 {
+		t.Fatalf("version %d", cli.Version())
+	}
+	if cli.Caps() != 0 || srv.Caps() != 0 {
+		t.Fatalf("caps cli=%x srv=%x, want 0", cli.Caps(), srv.Caps())
+	}
+}
+
+// TestNegotiateFallbackOldServer simulates an old peer: it answers the
+// probe with a v1-framed error message, as the shipped avis server does
+// for unknown tags. The client must discard the reply and stay on v1.
+func TestNegotiateFallbackOldServer(t *testing.T) {
+	cliConn, srvConn := net.Pipe()
+	cli := NewConn(cliConn, time.Second)
+	done := make(chan error, 1)
+	go func() {
+		// Old peer: read the probe frame, reply "unknown message".
+		var hdr [4]byte
+		if _, err := io.ReadFull(srvConn, hdr[:]); err != nil {
+			done <- err
+			return
+		}
+		probe := make([]byte, binary.LittleEndian.Uint32(hdr[:]))
+		if _, err := io.ReadFull(srvConn, probe); err != nil {
+			done <- err
+			return
+		}
+		reply := append([]byte{'E'}, "unknown message"...)
+		var out bytes.Buffer
+		var lh [4]byte
+		binary.LittleEndian.PutUint32(lh[:], uint32(len(reply)))
+		out.Write(lh[:])
+		out.Write(reply)
+		_, err := srvConn.Write(out.Bytes())
+		done <- err
+	}()
+	if err := cli.StartClient(CapSchemaCtrl); err != nil {
+		t.Fatalf("StartClient against old peer: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if cli.Version() != V1 {
+		t.Fatalf("version %d, want fallback to v1", cli.Version())
+	}
+	if cli.Caps() != 0 {
+		t.Fatalf("caps %x, want 0", cli.Caps())
+	}
+}
+
+// TestConcurrentWritersNeverInterleave is the regression test for the
+// header/body interleaving bug: many goroutines hammer one Conn while a
+// reader checks that every frame arrives intact, its payload bytes
+// consistent with exactly one writer.
+func TestConcurrentWritersNeverInterleave(t *testing.T) {
+	cliConn, srvConn := net.Pipe()
+	w := NewConn(cliConn, 0)
+	r := NewConn(srvConn, 0)
+
+	const writers = 8
+	const perWriter = 200
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(id byte) {
+			defer wg.Done()
+			msg := make([]byte, 1+17+int(id)*13) // varied sizes
+			msg[0] = 'S'
+			for j := 1; j < len(msg); j++ {
+				msg[j] = id
+			}
+			for n := 0; n < perWriter; n++ {
+				if err := w.WriteMsg(msg); err != nil {
+					t.Errorf("writer %d: %v", id, err)
+					return
+				}
+			}
+		}(byte(i))
+	}
+	go func() {
+		wg.Wait()
+		cliConn.Close()
+	}()
+
+	frames := 0
+	for {
+		msg, err := r.ReadMsg()
+		if err != nil {
+			break
+		}
+		if msg[0] != 'S' {
+			t.Fatalf("frame %d: tag %q — interleaved write", frames, msg[0])
+		}
+		id := byte(0)
+		if len(msg) > 1 {
+			id = msg[1]
+		}
+		if want := 1 + 17 + int(id)*13; len(msg) != want {
+			t.Fatalf("frame %d: writer %d frame is %d bytes, want %d — torn frame", frames, id, len(msg), want)
+		}
+		for j := 1; j < len(msg); j++ {
+			if msg[j] != id {
+				t.Fatalf("frame %d: byte %d is %d, want %d — interleaved payload", frames, j, msg[j], id)
+			}
+		}
+		bufpool.Put(msg)
+		frames++
+	}
+	if frames != writers*perWriter {
+		t.Fatalf("read %d intact frames, want %d", frames, writers*perWriter)
+	}
+}
+
+func TestReadMsgRejectsOversizeHeader(t *testing.T) {
+	for _, ver := range []Version{V1, V2} {
+		var in bytes.Buffer
+		var hdr [6]byte
+		binary.LittleEndian.PutUint32(hdr[:4], FrameLimit+1)
+		if ver == V1 {
+			in.Write(hdr[:4])
+		} else {
+			in.Write(hdr[:6])
+		}
+		r := NewStream(&duplex{in: &in, out: &bytes.Buffer{}})
+		r.ver = ver
+		if _, err := r.ReadMsg(); err == nil {
+			t.Fatalf("v%d: oversize header accepted", ver)
+		}
+	}
+}
+
+// failingDeadlineConn reports an error from deadline arming, as a
+// half-closed TCP conn does; the Conn must surface it, not swallow it.
+type failingDeadlineConn struct {
+	net.Conn
+	err error
+}
+
+func (c *failingDeadlineConn) SetReadDeadline(time.Time) error  { return c.err }
+func (c *failingDeadlineConn) SetWriteDeadline(time.Time) error { return c.err }
+
+func TestDeadlineArmingErrorsSurface(t *testing.T) {
+	a, b := net.Pipe()
+	defer b.Close()
+	armErr := errors.New("use of closed network connection")
+	c := NewConn(&failingDeadlineConn{Conn: a, err: armErr}, time.Second)
+	if err := c.WriteMsg([]byte{'H'}); !errors.Is(err, armErr) {
+		t.Fatalf("write: got %v, want arming error", err)
+	}
+	if _, err := c.ReadMsg(); !errors.Is(err, armErr) {
+		t.Fatalf("read: got %v, want arming error", err)
+	}
+}
+
+func TestInstrumentsCountFramesAndOutcomes(t *testing.T) {
+	reg := metrics.New()
+	inst := NewInstruments(reg)
+	cliConn, srvConn := net.Pipe()
+	cli := NewConn(cliConn, time.Second)
+	srv := NewConn(srvConn, time.Second)
+	cli.SetInstruments(inst)
+	srv.SetInstruments(inst)
+	done := make(chan error, 1)
+	go func() {
+		msg, err := srv.ReadMsg()
+		if err != nil {
+			done <- err
+			return
+		}
+		done <- srv.AcceptV2(msg, 0)
+	}()
+	if err := cli.StartClient(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	go func() { done <- cli.WriteMsg([]byte{'H'}) }()
+	msg, err := srv.ReadMsg()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bufpool.Put(msg)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if v := inst.NegotiatedV2.Value(); v != 2 { // both ends count
+		t.Fatalf("negotiated_v2 = %v, want 2", v)
+	}
+	if v := inst.FramesV2.Value(); v != 2 { // one write + one read
+		t.Fatalf("frames v2 = %v, want 2", v)
+	}
+	if v := inst.FramesV1.Value(); v == 0 { // negotiation itself is v1-framed
+		t.Fatal("frames v1 = 0, want negotiation frames counted")
+	}
+}

@@ -1,0 +1,139 @@
+// Package wire is the versioned frame protocol under every avis
+// connection — the data plane (internal/avis, internal/edge) and the
+// cluster control plane (internal/cluster) both speak it.
+//
+// Two framings coexist on one port:
+//
+//   - v1 is the original length-prefixed framing: a little-endian uint32
+//     payload length followed by the payload, whose first byte is the
+//     message tag. Every peer ever shipped understands it.
+//   - v2 moves the tag (and a reserved flags byte) into a fixed 6-byte
+//     header — length, type, flags — so a frame is read with exactly two
+//     ReadFull calls into a pooled buffer and written as one vectored
+//     write (header and payload gathered into a single writev; a
+//     multi-frame reply batch is also a single writev).
+//
+// Version 2 is negotiated, never assumed. A v2 client opens with a
+// negotiation probe — a v1-framed message carrying a magic number, the
+// highest version the sender speaks, and a capability bitmap — and a v2
+// peer answers with its own. Both sides then run min(version) with the
+// AND of the capability sets. A v1 peer instead answers the probe with
+// whatever it says to an unknown message (the avis server sends a tagged
+// error frame, the coordinator a refusal ack); the client treats any
+// non-negotiation reply as "old peer", discards it, and continues in v1.
+// Mixed-version clusters therefore interoperate in both directions during
+// rolling upgrades, at the cost of one extra round trip per connection
+// and one "unknown message" count on the old side.
+//
+// Capabilities gate encodings above the framing: CapSchemaCtrl switches
+// the cluster's control-message bodies from JSON to the runtime-
+// interpreted binary schemas of schema.go. The data plane negotiates no
+// capabilities — its message payloads stay bit-identical across versions;
+// only the framing around them changes.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Version is a wire-protocol framing version.
+type Version uint8
+
+const (
+	// V1 is the legacy length-prefixed framing (tag inside the payload).
+	V1 Version = 1
+	// V2 is the negotiated framing with a 6-byte length/type/flags header.
+	V2 Version = 2
+	// MaxVersion is the highest version this build speaks.
+	MaxVersion = V2
+)
+
+// Caps is the negotiated capability bitmap. The effective capability set
+// of a connection is the AND of what both ends advertised.
+type Caps uint32
+
+const (
+	// CapSchemaCtrl encodes control-plane message bodies with the
+	// runtime-interpreted binary schemas instead of JSON.
+	CapSchemaCtrl Caps = 1 << iota
+)
+
+// TagNegotiate is the message tag of the version-negotiation probe and
+// reply. It is deliberately a printable byte outside every existing tag
+// map so old peers fall into their unknown-message path.
+const TagNegotiate = 'V'
+
+// Magic guards the negotiation payload against a stray frame that merely
+// starts with 'V' ("AVW2" little-endian).
+const Magic uint32 = 0x32575641
+
+// negotiateLen is the exact negotiation message length:
+// tag(1) + magic(4) + version(1) + caps(4).
+const negotiateLen = 10
+
+// FrameLimit bounds a single protocol frame in either framing (a frame
+// carries at most one reply segment plus headers). Writers enforce it on
+// send (see FrameSizeError); readers enforce it before allocating.
+const FrameLimit = 1 << 22
+
+// ErrFrameTooLarge is the sentinel matched by errors.Is for frames
+// rejected on the send side; the concrete error is a *FrameSizeError.
+var ErrFrameTooLarge = errors.New("wire: frame exceeds limit")
+
+// FrameSizeError reports a frame whose payload exceeds FrameLimit. It is
+// returned on the send side before any byte is written, so an oversize
+// message never half-escapes onto the wire (where every reader would
+// reject it) and a >4 GiB payload is never silently truncated by the
+// uint32 length field.
+type FrameSizeError struct {
+	N     int // offending payload size
+	Limit int // the enforced bound (FrameLimit)
+}
+
+func (e *FrameSizeError) Error() string {
+	return fmt.Sprintf("wire: frame of %d bytes exceeds the %d-byte limit", e.N, e.Limit)
+}
+
+// Is matches ErrFrameTooLarge.
+func (e *FrameSizeError) Is(target error) bool { return target == ErrFrameTooLarge }
+
+// IsNegotiate reports whether msg is a well-formed version-negotiation
+// message (probe or reply).
+func IsNegotiate(msg []byte) bool {
+	return len(msg) == negotiateLen && msg[0] == TagNegotiate &&
+		binary.LittleEndian.Uint32(msg[1:]) == Magic
+}
+
+// appendNegotiate renders a negotiation probe/reply into buf.
+func appendNegotiate(buf []byte, ver Version, caps Caps) []byte {
+	var b [negotiateLen]byte
+	b[0] = TagNegotiate
+	binary.LittleEndian.PutUint32(b[1:], Magic)
+	b[5] = byte(ver)
+	binary.LittleEndian.PutUint32(b[6:], uint32(caps))
+	return append(buf, b[:]...)
+}
+
+// parseNegotiate decodes a negotiation message. Versions above MaxVersion
+// are legal (the peer is newer; the caller runs min), versions below V1
+// are not.
+func parseNegotiate(msg []byte) (Version, Caps, error) {
+	if !IsNegotiate(msg) {
+		return 0, 0, fmt.Errorf("wire: malformed negotiation message (%d bytes)", len(msg))
+	}
+	ver := Version(msg[5])
+	if ver < V1 {
+		return 0, 0, fmt.Errorf("wire: negotiation announces version %d", ver)
+	}
+	return ver, Caps(binary.LittleEndian.Uint32(msg[6:])), nil
+}
+
+// minVersion returns the lower of two versions.
+func minVersion(a, b Version) Version {
+	if a < b {
+		return a
+	}
+	return b
+}

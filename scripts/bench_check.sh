@@ -3,13 +3,14 @@
 # regression: re-run each committed benchmark suite and compare ns/op
 # against its baseline JSON. Any benchmark more than BENCH_TOLERANCE
 # (default 0.20 = 20%) slower than its baseline fails the check with a
-# nonzero exit. Four suites are gated: the data-plane kernels
+# nonzero exit. Five suites are gated: the data-plane kernels
 # (BENCH_kernels.json), the edge cache tier (BENCH_edge.json), the
 # control plane (BENCH_control.json — heartbeat dispatch, placement, and
 # the counter-commit harness; its trailing "swarm" block is informational
-# and ignored here), and the live performance store
-# (BENCH_perfstore.json — cached vs uncached profile lookup and sample
-# ingest).
+# and ignored here), the live performance store (BENCH_perfstore.json —
+# cached vs uncached profile lookup and sample ingest), and the wire
+# protocol (BENCH_wire.json — v1/v2 framing and schema-vs-JSON control
+# bodies).
 #
 #   scripts/bench_check.sh                        # compare at +20%
 #   BENCH_TOLERANCE=0.60 scripts/bench_check.sh   # looser, for noisy CI
@@ -69,3 +70,4 @@ check_one BENCH_kernels.json \
 check_one BENCH_edge.json 'BenchmarkEdge' ./internal/edge
 check_one BENCH_control.json 'BenchmarkControl|BenchmarkCounter' ./internal/cluster
 check_one BENCH_perfstore.json 'BenchmarkPerfstore' ./internal/perfstore
+check_one BENCH_wire.json 'BenchmarkWire' ./internal/wire

@@ -30,6 +30,12 @@ go test -race -timeout 5m ./internal/cluster ./internal/avis ./internal/edge ./i
 echo "== avis-load smoke (1k virtual sessions)"
 go run ./cmd/avis-load -nodes 200 -sessions 1000 -ramp 10s -hold 15s -step 100ms -kill 0.1
 
+# Mixed-version wire conformance: every v1/v2 pairing of server, client,
+# coordinator, and agent must negotiate (or fall back) cleanly and
+# produce byte-identical session output — the rolling-upgrade guarantee.
+echo "== scripts/wire_conformance.sh (mixed-version matrix)"
+./scripts/wire_conformance.sh
+
 # The race detector slows the channel-heavy virtual-time experiments well
 # past the default 10m per-package test timeout, so raise it; wall-clock
 # cost is still dominated by internal/expt (skippable with -short).

@@ -1,0 +1,24 @@
+// Command portprobe exits 0 if something accepts a TCP connection at
+// the given address, nonzero otherwise. scripts/wire_conformance.sh
+// builds it once and polls with it while waiting for daemons to come
+// up, since the CI image carries no netcat.
+package main
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"time"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: portprobe host:port")
+		os.Exit(2)
+	}
+	c, err := net.DialTimeout("tcp", os.Args[1], 500*time.Millisecond)
+	if err != nil {
+		os.Exit(1)
+	}
+	c.Close()
+}
