@@ -11,7 +11,7 @@ build:
 
 # Install the deployable binaries into bin/ (the cluster trio plus the
 # profiling/figure tools).
-BINARIES = avis-coord avis-server avis-client avis-edge avis-adapt avis-load avis-figures avis-profile tunable-spec
+BINARIES = avis-coord avis-server avis-client avis-edge avis-adapt avis-load avis-mix avis-figures avis-profile tunable-spec
 
 bin:
 	$(GO) build -o bin/ $(addprefix ./cmd/,$(BINARIES))

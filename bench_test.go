@@ -27,7 +27,18 @@ import (
 
 // ---- Figure benchmarks ----
 
+// skipInShort keeps the figure regenerations (minutes each, end-to-end
+// experiment reruns) out of -short bench smokes; CI measures them only in
+// the nightly full pass.
+func skipInShort(b *testing.B) {
+	b.Helper()
+	if testing.Short() {
+		b.Skip("figure experiment skipped in -short mode")
+	}
+}
+
 func BenchmarkFig3a(b *testing.B) {
+	skipInShort(b)
 	for i := 0; i < b.N; i++ {
 		fig, err := expt.Figure3a()
 		if err != nil {
@@ -39,6 +50,7 @@ func BenchmarkFig3a(b *testing.B) {
 }
 
 func BenchmarkFig3b(b *testing.B) {
+	skipInShort(b)
 	for i := 0; i < b.N; i++ {
 		if _, err := expt.Figure3b(); err != nil {
 			b.Fatal(err)
@@ -47,6 +59,7 @@ func BenchmarkFig3b(b *testing.B) {
 }
 
 func BenchmarkFig4a(b *testing.B) {
+	skipInShort(b)
 	for i := 0; i < b.N; i++ {
 		if _, err := expt.Figure4a(); err != nil {
 			b.Fatal(err)
@@ -55,6 +68,7 @@ func BenchmarkFig4a(b *testing.B) {
 }
 
 func BenchmarkFig4b(b *testing.B) {
+	skipInShort(b)
 	for i := 0; i < b.N; i++ {
 		if _, err := expt.Figure4b(); err != nil {
 			b.Fatal(err)
@@ -63,6 +77,7 @@ func BenchmarkFig4b(b *testing.B) {
 }
 
 func BenchmarkFig5(b *testing.B) {
+	skipInShort(b)
 	for i := 0; i < b.N; i++ {
 		if _, err := expt.Figure5a(); err != nil {
 			b.Fatal(err)
@@ -74,6 +89,7 @@ func BenchmarkFig5(b *testing.B) {
 }
 
 func BenchmarkFig6a(b *testing.B) {
+	skipInShort(b)
 	for i := 0; i < b.N; i++ {
 		if _, err := expt.Figure6a(); err != nil {
 			b.Fatal(err)
@@ -82,6 +98,7 @@ func BenchmarkFig6a(b *testing.B) {
 }
 
 func BenchmarkFig6b(b *testing.B) {
+	skipInShort(b)
 	for i := 0; i < b.N; i++ {
 		if _, err := expt.Figure6b(); err != nil {
 			b.Fatal(err)
@@ -90,6 +107,7 @@ func BenchmarkFig6b(b *testing.B) {
 }
 
 func BenchmarkFig7a(b *testing.B) {
+	skipInShort(b)
 	for i := 0; i < b.N; i++ {
 		e, err := expt.Experiment1()
 		if err != nil {
@@ -102,6 +120,7 @@ func BenchmarkFig7a(b *testing.B) {
 }
 
 func BenchmarkFig7b(b *testing.B) {
+	skipInShort(b)
 	for i := 0; i < b.N; i++ {
 		e, err := expt.Experiment2()
 		if err != nil {
@@ -112,6 +131,7 @@ func BenchmarkFig7b(b *testing.B) {
 }
 
 func BenchmarkFig7c(b *testing.B) {
+	skipInShort(b)
 	for i := 0; i < b.N; i++ {
 		e, err := expt.Experiment3()
 		if err != nil {
@@ -123,6 +143,7 @@ func BenchmarkFig7c(b *testing.B) {
 }
 
 func BenchmarkFig7d(b *testing.B) {
+	skipInShort(b)
 	for i := 0; i < b.N; i++ {
 		e, err := expt.Experiment3()
 		if err != nil {

@@ -1,14 +1,19 @@
-// Multiapp: the resource-constrained execution environment as a
-// reservation substrate (Section 6.2 of the paper) — "multiple such
-// execution environments can operate on the same physical machine with
-// negligible overhead, [so] we can reserve a specific CPU share ... with
-// simple admission control."
+// Multiapp: cross-application contention under one arbitrating scheduler
+// (Section 6.2 of the paper) — "multiple such execution environments can
+// operate on the same physical machine with negligible overhead, [so] we
+// can reserve a specific CPU share ... with simple admission control."
 //
-// Three applications ask for CPU reservations on one host; admission
-// control rejects the request that would oversubscribe the machine, the
-// admitted sandboxes each receive exactly their share without interfering,
-// and a fourth application is admitted the moment one of the others
-// releases its reservation.
+// The single-host sandbox demo this example used to be was promoted into
+// the first-class workload layer in internal/apps. This example now shows
+// the two pieces that layer adds on top of plain admission control:
+//
+//  1. The cross-class arbiter (internal/scheduler.Arbiter): work-conserving
+//     borrowing over a shared resource pool that structurally cannot starve
+//     another class's guarantee — a greedy video class is cut off while
+//     idle foveal capacity remains claimable.
+//  2. The mixed-workload harness (apps.RunMix): video and foveal sessions
+//     sharing sandbox hosts and one link pool under admission control, in
+//     deterministic virtual time, reported per class.
 //
 // Run: go run ./examples/multiapp
 package main
@@ -16,78 +21,75 @@ package main
 import (
 	"fmt"
 	"log"
+	"sort"
 	"time"
 
-	"tunable/internal/sandbox"
-	"tunable/internal/vtime"
+	"tunable/internal/apps"
+	"tunable/internal/resource"
+	"tunable/internal/scheduler"
 )
 
 func main() {
-	sim := vtime.NewSim()
-	host := sandbox.NewHost(sim, "shared-host", 450e6)
-
-	// Admission control: the third request oversubscribes and is refused.
-	a, err := host.NewSandbox("app-a", 0.5, 0)
+	// --- Part 1: guarantee-protected arbitration -----------------------
+	// One 1 MB/s link pool split between two equal-weight classes. Video
+	// grabs 100 KB/s bites until the arbiter refuses; the refusal arrives
+	// while half the pool is still free, because that half is foveal's
+	// guarantee — which foveal can then claim in full.
+	pool := resource.Vector{resource.Bandwidth: 1e6}
+	arb, err := scheduler.NewArbiter(pool, []scheduler.ClassShare{
+		{Class: "video", Weight: 1},
+		{Class: "foveal", Weight: 1},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("app-a admitted with 50%% (reserved %.0f%%)\n", 100*host.Reserved())
-	b, err := host.NewSandbox("app-b", 0.3, 0)
+	bite := resource.Vector{resource.Bandwidth: 100e3}
+	for i := 0; ; i++ {
+		if _, err := arb.Acquire("video", bite); err != nil {
+			fmt.Printf("video refused after %d x 100 KB/s: %v\n", i, err)
+			break
+		}
+	}
+	guarantee, err := arb.Guarantee("foveal")
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("app-b admitted with 30%% (reserved %.0f%%)\n", 100*host.Reserved())
-	if _, err := host.NewSandbox("app-c", 0.4, 0); err != nil {
-		fmt.Printf("app-c asking for 40%% refused: %v\n", err)
+	if _, err := arb.Acquire("foveal", guarantee); err != nil {
+		log.Fatalf("foveal guarantee must always be claimable: %v", err)
 	}
+	fmt.Printf("foveal claimed its full %.0f KB/s guarantee (pool contended: %v)\n\n",
+		guarantee[resource.Bandwidth]/1e3, arb.Contended())
 
-	// Both admitted applications run the same one-CPU-second workload;
-	// each finishes in exactly (1 second / share), proving isolation.
-	const work = 450e6
-	run := func(name string, sb *sandbox.Sandbox, done func(*vtime.Proc)) {
-		sim.Spawn(name, func(p *vtime.Proc) {
-			start := p.Now()
-			sb.Compute(p, work)
-			fmt.Printf("[%6.2fs] %s finished 1 CPU-second of work in %.2fs (share %.0f%%)\n",
-				p.Now().Seconds(), name, (p.Now() - start).Seconds(), 100*sb.CPUShare())
-			if done != nil {
-				done(p)
-			}
-		})
-	}
-	run("app-a", a, func(p *vtime.Proc) {
-		// app-a departs; its reservation frees capacity for app-c.
-		host.Release(a)
-		fmt.Printf("[%6.2fs] app-a released its reservation (reserved %.0f%%)\n",
-			p.Now().Seconds(), 100*host.Reserved())
-		c, err := host.NewSandbox("app-c", 0.4, 0)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("[%6.2fs] app-c admitted with 40%% (reserved %.0f%%)\n",
-			p.Now().Seconds(), 100*host.Reserved())
-		run("app-c", c, nil)
+	// --- Part 2: the mixed workload end to end -------------------------
+	// A seeded video+foveal mix on four shared hosts: per-class admission,
+	// placement, initial configuration, periodic retuning (derated while
+	// the classes contend), and per-class QoS verdicts — the same harness
+	// cmd/avis-mix exposes as a CLI.
+	rep, err := apps.RunMix(apps.HarnessConfig{
+		Seed:  7,
+		Hosts: 4,
+		Classes: []apps.ClassConfig{
+			{App: apps.NewVideo(), Sessions: 6, ArrivalEvery: 300 * time.Millisecond},
+			{App: apps.NewFoveal(), Sessions: 3, ArrivalEvery: 600 * time.Millisecond},
+		},
 	})
-	run("app-b", b, nil)
-
-	// A sandbox is also a policing mechanism: sampling app-b's achieved
-	// share confirms it never exceeds its reservation even while the host
-	// has idle capacity.
-	sim.Spawn("auditor", func(p *vtime.Proc) {
-		var prevCPU, prevActive time.Duration
-		for i := 0; i < 6; i++ {
-			p.Sleep(500 * time.Millisecond)
-			cpu, active := b.CPUTime(), b.ActiveTime()
-			dCPU, dActive := cpu-prevCPU, active-prevActive
-			prevCPU, prevActive = cpu, active
-			if dActive > 0 {
-				fmt.Printf("[%6.2fs] auditor: app-b achieved share %.3f\n",
-					p.Now().Seconds(), float64(dCPU)/float64(dActive))
-			}
-		}
-	})
-
-	if err := sim.Run(); err != nil {
+	if err != nil {
 		log.Fatal(err)
+	}
+	fmt.Printf("mixed run: %.2f virtual seconds, contended: %v\n",
+		rep.VirtualSeconds, rep.Contended)
+	for _, c := range rep.Classes {
+		fmt.Printf("  %-7s requested %d admitted %d rejected %d passed %d/%d (switches %d, derated plans %d)\n",
+			c.Class, c.Requested, c.Admitted, c.Rejected, c.Passed, c.Completed,
+			c.Switches, c.DeratedPlans)
+		names := make([]string, 0, len(c.Metrics))
+		for name := range c.Metrics {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			m := c.Metrics[name]
+			fmt.Printf("          %-14s mean %8.3f  p95 %8.3f\n", name, m.Mean, m.P95)
+		}
 	}
 }

@@ -3,12 +3,13 @@
 // client machine can respond to network bandwidth reduction by compressing
 // the stream or selectively dropping frames."
 //
-// This example builds that application from the framework's public pieces:
-// a server pushes frames over a shaped link; the knobs are the frame rate
-// (fps: drop frames) and per-frame quality (bytes per frame: compress
-// harder). The QoS metrics are delivered frame rate and stream lag. The
-// performance database is profiled in the virtual testbed, and the
-// framework keeps the stream within its lag budget as the link degrades.
+// The stream itself is no longer built inline here: it was promoted to a
+// first-class tunable workload in internal/apps (apps.Video), the same
+// implementation the mixed-workload harness and cmd/avis-mix drive. This
+// example wires that promoted application into the full adaptation loop —
+// spec, profiled performance database, preferences, monitor, scheduler,
+// steering — and watches the framework hold the lag budget as the link
+// degrades mid-stream.
 //
 // Run: go run ./examples/videostream
 package main
@@ -18,11 +19,10 @@ import (
 	"log"
 	"time"
 
+	"tunable/internal/apps"
 	"tunable/internal/core"
 	"tunable/internal/monitor"
 	"tunable/internal/netem"
-	"tunable/internal/perfdb"
-	"tunable/internal/profiler"
 	"tunable/internal/resource"
 	"tunable/internal/sandbox"
 	"tunable/internal/scheduler"
@@ -31,166 +31,115 @@ import (
 	"tunable/internal/vtime"
 )
 
-// videoSpec declares the stream's tunability.
-var videoSpec = spec.MustParse(`
-app videostream;
-control_parameters {
-    int fps in {10, 15, 30};
-    enum q in {low, high};      // per-frame quality (encoding bitrate)
-}
-execution_env {
-    host client;
-    host server;
-    link net from client to server;
-}
-qos_metric {
-    scalar frame_rate maximize;
-    duration lag minimize;      // stream time behind real time after 5 s
-}
-`)
-
-// frameBytes returns the encoded size of one frame at quality q.
-func frameBytes(q string) int {
-	if q == "high" {
-		return 24_000
-	}
-	return 8_000
-}
-
-// streamFor runs a 5-second stream at the given configuration over a link
-// with the given bandwidth and reports the QoS metrics: achieved frame
-// rate and accumulated lag (how far the stream fell behind real time).
-func streamFor(cfg spec.Config, res resource.Vector) (spec.Metrics, error) {
-	fps := cfg["fps"].I
-	q := cfg["q"].S
-	sim := vtime.NewSim()
-	link := netem.NewLink(sim, "net", res.Get(resource.Bandwidth, 100e3))
-	const streamSeconds = 5
-	frames := fps * streamSeconds
-	sim.Spawn("server", func(p *vtime.Proc) {
-		payload := make([]byte, frameBytes(q))
-		for i := 0; i < frames; i++ {
-			// Pace frames at the nominal rate, but never ahead of the link.
-			p.SleepUntil(time.Duration(i) * time.Second / time.Duration(fps))
-			link.A().Send(p, payload)
-		}
-	})
-	var delivered int
-	var lastArrival time.Duration
-	sim.Spawn("client", func(p *vtime.Proc) {
-		for i := 0; i < frames; i++ {
-			if _, ok := link.B().Recv(p); !ok {
-				return
-			}
-			delivered++
-			lastArrival = p.Now()
-		}
-	})
-	if err := sim.Run(); err != nil {
-		return nil, err
-	}
-	lag := lastArrival - streamSeconds*time.Second
-	if lag < 0 {
-		lag = 0
-	}
-	return spec.Metrics{
-		"frame_rate": float64(delivered) / float64(streamSeconds),
-		"lag":        lag.Seconds(),
-	}, nil
-}
-
 func main() {
-	// Profile every configuration across the bandwidth range in the
-	// virtual testbed.
-	db := perfdb.New(videoSpec)
-	grid := resource.NewGrid(resource.Axis{
-		Kind:   resource.Bandwidth,
-		Points: []float64{50e3, 100e3, 200e3, 400e3, 800e3},
-	})
-	driver, err := profiler.New(db, grid, streamFor)
+	v := apps.NewVideo()
+	v.StreamSeconds = 30
+
+	// The performance database is profiled in the virtual testbed across
+	// the app's bandwidth x CPU grid (and cached per process, so the mixed
+	// harness and this example share one profiling pass).
+	db, err := v.DB()
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := driver.Populate(); err != nil {
+	fmt.Printf("profiled %d configurations across the resource grid\n\n", len(db.Configs()))
+
+	// The live world: dedicated client and server sandboxes, a shaped
+	// link, and the adaptation loop from internal/core driving the
+	// steering agent that the promoted app reads at frame boundaries.
+	sim := vtime.NewSim()
+	clientHost := sandbox.NewHost(sim, "client-host", 450e6)
+	serverHost := sandbox.NewHost(sim, "server-host", 450e6)
+	csb, err := clientHost.NewSandbox("decoder", 0.2, 0)
+	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("profiled %d configurations x %d bandwidths\n\n", len(db.Configs()), grid.Size())
-
-	// The live world: server streams continuously; the framework adapts.
-	sim := vtime.NewSim()
-	serverHost := sandbox.NewHost(sim, "server", 450e6)
-	if _, err := serverHost.NewSandbox("encoder", 0.9, 0); err != nil {
+	ssb, err := serverHost.NewSandbox("encoder", 0.2, 0)
+	if err != nil {
 		log.Fatal(err)
 	}
 	link := netem.NewLink(sim, "net", 800e3)
+
 	mon := monitor.New(sim, "monitor", monitor.WithHysteresis(4))
 	mon.AddProbe(monitor.NewBandwidthProbe("net", link.A()))
-	steer, err := steering.New(sim, videoSpec,
-		spec.Config{"fps": spec.Int(30), "q": spec.Enum("high")})
+	mon.AddProbe(monitor.NewCPUProbe("client", csb))
+
+	// Automatic configuration: ask the scheduler for the best starting
+	// point under the initial resource conditions, and boot the steering
+	// agent directly onto it.
+	initialRes := resource.Vector{resource.Bandwidth: 800e3, resource.CPU: 0.2}
+	sched, err := scheduler.New(v.Spec(), db, v.Preferences())
 	if err != nil {
 		log.Fatal(err)
 	}
+	d, err := sched.Select(initialRes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("initial configuration: %s (preference %q)\n\n", d.Config.Key(), d.PrefName)
+	steer, err := steering.New(sim, v.Spec(), d.Config)
+	if err != nil {
+		log.Fatal(err)
+	}
+	steer.OnApply(func(old, cfg spec.Config, _ map[resource.Kind][2]float64) {
+		fmt.Printf("          stream reconfigured: %s -> %s\n", old.Key(), cfg.Key())
+	})
 	fw, err := core.New(sim, core.Config{
-		App: videoSpec,
-		DB:  db,
-		Preferences: []scheduler.Preference{
-			{
-				Name:        "smooth",
-				Constraints: []scheduler.Constraint{scheduler.AtMost("lag", 0.25)},
-				Objective:   "frame_rate",
-			},
-			{Name: "best-effort", Objective: "frame_rate"},
-		},
-		Monitor:    mon,
-		Steering:   steer,
-		Components: core.Components{resource.Bandwidth: "net"},
+		App:         v.Spec(),
+		DB:          db,
+		Preferences: v.Preferences(),
+		Monitor:     mon,
+		Steering:    steer,
+		Components:  core.Components{resource.Bandwidth: "net", resource.CPU: "client"},
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	if _, err := fw.SelectInitial(resource.Vector{resource.Bandwidth: 800e3}); err != nil {
+	if _, err := fw.SelectInitial(initialRes); err != nil {
 		log.Fatal(err)
 	}
 	fw.Start()
 	mon.Start()
 
-	sim.Spawn("server", func(p *vtime.Proc) {
-		frame := 0
-		for p.Now() < 30*time.Second {
-			cfg, switched := steer.MaybeApply(p)
-			if switched {
-				fmt.Printf("[%6.2fs] stream reconfigured: %s\n", p.Now().Seconds(), cfg.Key())
-			}
-			fps, q := cfg["fps"].I, cfg["q"].S
-			link.A().Send(p, make([]byte, frameBytes(q)))
-			frame++
-			p.Sleep(time.Second / time.Duration(fps))
-		}
+	env := &apps.SessionEnv{
+		Sim:    sim,
+		Link:   link,
+		Client: csb,
+		Server: ssb,
+		Steer:  steer,
+		Seed:   1,
+	}
+	sim.Spawn("video-session", func(p *vtime.Proc) {
+		m, err := v.Run(p, env)
 		fw.Stop()
 		mon.Stop()
-		link.A().Close()
-		fmt.Printf("[%6.2fs] stream ended after %d frames\n", p.Now().Seconds(), frame)
-	})
-	sim.Spawn("client", func(p *vtime.Proc) {
-		n := 0
-		for {
-			if _, ok := link.B().Recv(p); !ok {
-				fmt.Printf("[%6.2fs] client received %d frames\n", p.Now().Seconds(), n)
-				return
-			}
-			n++
+		if err != nil {
+			log.Fatal(err)
 		}
+		q := v.Verdict(m)
+		verdict := "PASS"
+		if !q.Pass {
+			verdict = "FAIL (" + q.Reason + ")"
+		}
+		fmt.Printf("[%6.2fs] stream ended: frame_rate %.1f/s, lag %.2fs — %s\n",
+			p.Now().Seconds(), m["frame_rate"], m["lag"], verdict)
 	})
+
 	sim.After(10*time.Second, func() {
-		fmt.Println("[ 10.00s] *** link degrades to 100 KB/s ***")
-		_ = link.SetBandwidth(100e3)
+		fmt.Println("[ 10.00s] *** link degrades to 96 KB/s ***")
+		_ = link.SetBandwidth(96e3)
 	})
 	sim.After(22*time.Second, func() {
 		fmt.Println("[ 22.00s] *** link restored to 800 KB/s ***")
 		_ = link.SetBandwidth(800e3)
 	})
+
 	if err := sim.Run(); err != nil {
 		log.Fatal(err)
+	}
+	fmt.Println("\nframework decision log:")
+	for _, e := range fw.Events() {
+		fmt.Printf("  [%6.2fs] %-11s %s\n", e.At.Seconds(), e.Kind, e.Detail)
 	}
 	fmt.Printf("\nframework switches: %d, final config: %s\n",
 		steer.Switches(), steer.Current().Key())

@@ -7,6 +7,9 @@
 #
 # The JSON maps each benchmark to its ns/op, MB/s (when reported),
 # B/op, and allocs/op, so successive runs can be diffed for regressions.
+# Custom units emitted via b.ReportMetric (e.g. sessions/sec, p95 scores)
+# are captured too, under the unit name with non-alphanumerics mapped
+# to "_".
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -22,18 +25,25 @@ go test -run '^$' -bench "$BENCHES" -benchmem -benchtime "${BENCHTIME:-2s}" "$@"
 	/^Benchmark/ {
 		name = $1
 		sub(/-[0-9]+$/, "", name)
-		nsop = ""; mbs = ""; bop = ""; allocs = ""
-		for (i = 2; i < NF; i++) {
-			if ($(i + 1) == "ns/op") nsop = $i
-			if ($(i + 1) == "MB/s") mbs = $i
-			if ($(i + 1) == "B/op") bop = $i
-			if ($(i + 1) == "allocs/op") allocs = $i
+		nsop = ""; mbs = ""; bop = ""; allocs = ""; extras = ""
+		for (i = 3; i <= NF; i++) {
+			v = $(i - 1)
+			if (v !~ /^-?[0-9.][0-9.eE+-]*$/) continue
+			if ($i == "ns/op") nsop = v
+			else if ($i == "MB/s") mbs = v
+			else if ($i == "B/op") bop = v
+			else if ($i == "allocs/op") allocs = v
+			else if ($i ~ /^[A-Za-z][A-Za-z0-9\/%_.-]*$/) {
+				u = $i
+				gsub(/[^A-Za-z0-9]/, "_", u)
+				extras = extras ", \"" u "\": " v
+			}
 		}
 		line = "  \"" name "\": {\"ns_op\": " nsop
 		if (mbs != "") line = line ", \"mb_s\": " mbs
 		if (bop != "") line = line ", \"b_op\": " bop
 		if (allocs != "") line = line ", \"allocs_op\": " allocs
-		line = line "}"
+		line = line extras "}"
 		lines[n++] = line
 	}
 	END {

@@ -3,14 +3,17 @@
 # regression: re-run each committed benchmark suite and compare ns/op
 # against its baseline JSON. Any benchmark more than BENCH_TOLERANCE
 # (default 0.20 = 20%) slower than its baseline fails the check with a
-# nonzero exit. Five suites are gated: the data-plane kernels
+# nonzero exit. Six suites are gated: the data-plane kernels
 # (BENCH_kernels.json), the edge cache tier (BENCH_edge.json), the
 # control plane (BENCH_control.json — heartbeat dispatch, placement, and
 # the counter-commit harness; its trailing "swarm" block is informational
 # and ignored here), the live performance store (BENCH_perfstore.json —
-# cached vs uncached profile lookup and sample ingest), and the wire
+# cached vs uncached profile lookup and sample ingest), the wire
 # protocol (BENCH_wire.json — v1/v2 framing and schema-vs-JSON control
-# bodies).
+# bodies), and the workload layer (BENCH_apps.json — the mixed
+# video+foveal harness, arbiter acquire/release, and a single video
+# session; only ns/op is gated, the sessions/sec and p95-QoS fields are
+# informational).
 #
 #   scripts/bench_check.sh                        # compare at +20%
 #   BENCH_TOLERANCE=0.60 scripts/bench_check.sh   # looser, for noisy CI
@@ -71,3 +74,4 @@ check_one BENCH_edge.json 'BenchmarkEdge' ./internal/edge
 check_one BENCH_control.json 'BenchmarkControl|BenchmarkCounter' ./internal/cluster
 check_one BENCH_perfstore.json 'BenchmarkPerfstore' ./internal/perfstore
 check_one BENCH_wire.json 'BenchmarkWire' ./internal/wire
+check_one BENCH_apps.json 'BenchmarkApps' ./internal/apps

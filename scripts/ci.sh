@@ -1,61 +1,120 @@
 #!/usr/bin/env sh
-# ci.sh — the full local gate: build everything, vet everything, run the
-# whole test suite under the race detector. Pass -short to skip the
-# slow real-time tests (forwarded to go test).
+# ci.sh — the CI gate, runnable whole or in stages. With no stage it runs
+# everything in order (the full local gate); with a stage name it runs
+# just that slice, which is how the staged GitHub workflow splits the
+# pipeline across jobs:
+#
+#   scripts/ci.sh            # full gate (lint, unit, smoke, bench)
+#   scripts/ci.sh lint       # build + vet + staticcheck
+#   scripts/ci.sh unit       # race-detector test suite (quick gate first)
+#   scripts/ci.sh smoke      # chaos, conformance, swarm, and mix smokes
+#   scripts/ci.sh bench      # bench smoke + perf gate vs baselines
+#   scripts/ci.sh -short     # full gate, skipping slow real-time tests
+#
+# Flags after the stage (or in place of it) are forwarded to go test.
 set -eu
 
 cd "$(dirname "$0")/.."
 
-echo "== go build ./..."
-go build ./...
+STAGE=all
+case "${1:-}" in
+lint | unit | smoke | bench | all)
+	STAGE=$1
+	shift
+	;;
+esac
 
-echo "== make lint (vet + staticcheck when installed)"
-make lint
+run_lint() {
+	echo "== go build ./..."
+	go build ./...
 
-# Fast fail on the cluster control plane, the edge cache tier, and the
-# live performance store: the failover e2e test, the avis
-# drain/concurrency tests, the edge-tier smoke (its seeded chaos schedule
-# drives an origin reset plus a lossy window through one edge node), and
-# the perfstore's concurrent ingest/predict/eviction tests are the most
-# concurrency-heavy spots in the repo, so run them under -race before
-# committing to the long full-suite run below.
-echo "== go test -race ./internal/cluster ./internal/avis ./internal/edge ./internal/perfstore (quick gate)"
-go test -race -timeout 5m ./internal/cluster ./internal/avis ./internal/edge ./internal/perfstore
+	echo "== make lint (vet + staticcheck when installed)"
+	make lint
+}
 
-# Swarm smoke: a small avis-load run (1k virtual-time sessions, with a
-# mid-run kill and failover re-placement) end-to-ends the sharded
-# registry, delta batching, death detection, and drain accounting in a
-# couple of seconds. The driver exits nonzero on any missed or spurious
-# death or an unfinished session.
-echo "== avis-load smoke (1k virtual sessions)"
-go run ./cmd/avis-load -nodes 200 -sessions 1000 -ramp 10s -hold 15s -step 100ms -kill 0.1
+run_unit() {
+	# Fast fail on the cluster control plane, the edge cache tier, the
+	# live performance store, and the workload layer: the failover e2e
+	# test, the avis drain/concurrency tests, the edge-tier smoke, the
+	# perfstore's concurrent ingest/predict/eviction tests, and the
+	# mixed-workload determinism e2e are the most concurrency-heavy spots
+	# in the repo, so run them under -race before committing to the long
+	# full-suite run below.
+	echo "== go test -race ./internal/cluster ./internal/avis ./internal/edge ./internal/perfstore ./internal/apps (quick gate)"
+	go test -race -timeout 10m ./internal/cluster ./internal/avis ./internal/edge ./internal/perfstore ./internal/apps
 
-# Mixed-version wire conformance: every v1/v2 pairing of server, client,
-# coordinator, and agent must negotiate (or fall back) cleanly and
-# produce byte-identical session output — the rolling-upgrade guarantee.
-echo "== scripts/wire_conformance.sh (mixed-version matrix)"
-./scripts/wire_conformance.sh
+	# The race detector slows the channel-heavy virtual-time experiments
+	# well past the default 10m per-package test timeout, so raise it;
+	# wall-clock cost is still dominated by internal/expt (skippable with
+	# -short).
+	echo "== go test -race -timeout 45m ./... $*"
+	go test -race -timeout 45m "$@" ./...
+}
 
-# The race detector slows the channel-heavy virtual-time experiments well
-# past the default 10m per-package test timeout, so raise it; wall-clock
-# cost is still dominated by internal/expt (skippable with -short).
-echo "== go test -race -timeout 45m ./... $*"
-go test -race -timeout 45m "$@" ./...
+run_smoke() {
+	# Swarm smoke: a small avis-load run (1k virtual-time sessions, with
+	# a mid-run kill and failover re-placement) end-to-ends the sharded
+	# registry, delta batching, death detection, and drain accounting in
+	# a couple of seconds. The driver exits nonzero on any missed or
+	# spurious death or an unfinished session.
+	echo "== avis-load smoke (1k virtual sessions)"
+	go run ./cmd/avis-load -nodes 200 -sessions 1000 -ramp 10s -hold 15s -step 100ms -kill 0.1
 
-# Benchmark smoke: one iteration of every benchmark in every package
-# catches harness rot (a bench that no longer compiles or fatals on its
-# first iteration) without paying for real measurement runs.
-echo "== go test -bench=. -benchtime=1x -short ./... (smoke)"
-go test -run '^$' -bench . -benchtime 1x -short -timeout 45m ./...
+	# Mixed-version wire conformance: every v1/v2 pairing of server,
+	# client, coordinator, and agent must negotiate (or fall back)
+	# cleanly and produce byte-identical session output — the
+	# rolling-upgrade guarantee.
+	echo "== scripts/wire_conformance.sh (mixed-version matrix)"
+	./scripts/wire_conformance.sh
 
-# Perf gate: re-measure the data-plane kernels and the edge cache tier
-# against the committed baselines. BENCH_CHECK=0 skips it; BENCH_TOLERANCE
-# loosens it on noisy shared runners (CI uses 0.60, local default 0.20).
-if [ "${BENCH_CHECK:-1}" = "1" ]; then
-	echo "== scripts/bench_check.sh (tolerance ${BENCH_TOLERANCE:-0.20})"
-	./scripts/bench_check.sh
-else
-	echo "== bench_check skipped (BENCH_CHECK=0)"
-fi
+	# Mixed-workload smoke: a seeded video+foveal mix under a replayed
+	# chaos schedule, run twice — the per-class QoS reports must be
+	# byte-identical (the avis-mix determinism guarantee).
+	echo "== avis-mix smoke (seeded mix, chaos replay, byte-identical)"
+	MIX_A=$(mktemp) MIX_B=$(mktemp)
+	trap 'rm -f "$MIX_A" "$MIX_B"' EXIT INT TERM
+	go run ./cmd/avis-mix -seed 42 -video 4 -foveal 2 -chaos -out "$MIX_A"
+	go run ./cmd/avis-mix -seed 42 -video 4 -foveal 2 -chaos -out "$MIX_B"
+	cmp "$MIX_A" "$MIX_B" || {
+		echo "avis-mix: same seed produced different reports" >&2
+		exit 1
+	}
+	rm -f "$MIX_A" "$MIX_B"
+}
 
-echo "CI gate passed."
+run_bench() {
+	# Benchmark smoke: one iteration of every benchmark in every package
+	# catches harness rot (a bench that no longer compiles or fatals on
+	# its first iteration) without paying for real measurement runs. The
+	# figure-regeneration benchmarks hide behind -short, which is what
+	# lets the timeout sit at minutes instead of the 45m the full figure
+	# sweep needs.
+	echo "== go test -bench=. -benchtime=1x -short ./... (smoke)"
+	go test -run '^$' -bench . -benchtime 1x -short -timeout 10m ./...
+
+	# Perf gate: re-measure the benchmarked hot paths against the six
+	# committed baselines. BENCH_CHECK=0 skips it; BENCH_TOLERANCE
+	# loosens it on noisy shared runners (CI uses 0.60, local default
+	# 0.20).
+	if [ "${BENCH_CHECK:-1}" = "1" ]; then
+		echo "== scripts/bench_check.sh (tolerance ${BENCH_TOLERANCE:-0.20})"
+		./scripts/bench_check.sh
+	else
+		echo "== bench_check skipped (BENCH_CHECK=0)"
+	fi
+}
+
+case "$STAGE" in
+lint) run_lint ;;
+unit) run_unit "$@" ;;
+smoke) run_smoke ;;
+bench) run_bench ;;
+all)
+	run_lint
+	run_unit "$@"
+	run_smoke
+	run_bench
+	;;
+esac
+
+echo "CI gate passed ($STAGE)."
